@@ -1,0 +1,301 @@
+// Benchmark harness: one benchmark per paper table/figure (regenerating
+// the experiment at small scale and reporting its headline metric) plus
+// the ablation benches DESIGN.md Sec. 6 calls out.
+//
+// Run with: go test -bench=. -benchmem
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"spybox/internal/arch"
+	"spybox/internal/core"
+	"spybox/internal/cudart"
+	"spybox/internal/expt"
+	"spybox/internal/l2cache"
+	"spybox/internal/sim"
+)
+
+// benchParams gives every benchmark iteration a distinct seed so
+// repeated iterations measure fresh machines, not cached state.
+func benchParams(i int) expt.Params {
+	return expt.Params{Seed: 0xb000 + uint64(i), Scale: expt.Small}
+}
+
+// runExperiment is the shared per-figure bench body.
+func runExperiment(b *testing.B, id string, metric string) {
+	b.Helper()
+	e, ok := expt.Lookup(id)
+	if !ok {
+		b.Fatalf("no experiment %q", id)
+	}
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(benchParams(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc += res.Metrics[metric]
+	}
+	// testing.B forbids whitespace in metric units.
+	unit := strings.NewReplacer(" ", "_", "+", "p").Replace(metric)
+	b.ReportMetric(acc/float64(b.N), unit)
+}
+
+func BenchmarkFig4TimingHistogram(b *testing.B) {
+	runExperiment(b, "fig4", "remote_boundary")
+}
+
+func BenchmarkFig5EvictionValidation(b *testing.B) {
+	runExperiment(b, "fig5", "eviction_step_remote")
+}
+
+func BenchmarkTableICacheGeometry(b *testing.B) {
+	runExperiment(b, "table1", "sets")
+}
+
+func BenchmarkFig7SetAlignment(b *testing.B) {
+	runExperiment(b, "fig7", "aligned_fraction")
+}
+
+func BenchmarkFig9BandwidthErrorRate(b *testing.B) {
+	runExperiment(b, "fig9", "best_bandwidth_MBps")
+}
+
+func BenchmarkFig10MessageTrace(b *testing.B) {
+	runExperiment(b, "fig10", "bit_error_rate")
+}
+
+func BenchmarkFig11Memorygrams(b *testing.B) {
+	runExperiment(b, "fig11", "total_misses_matmul")
+}
+
+func BenchmarkFig12Fingerprint(b *testing.B) {
+	runExperiment(b, "fig12", "test_accuracy")
+}
+
+func BenchmarkFig13MissesPerSet(b *testing.B) {
+	runExperiment(b, "fig13", "total_misses_h512")
+}
+
+func BenchmarkTableIIAvgMisses(b *testing.B) {
+	runExperiment(b, "table2", "extraction_correct")
+}
+
+func BenchmarkFig14MLPMemorygrams(b *testing.B) {
+	runExperiment(b, "fig14", "total_misses_h512")
+}
+
+func BenchmarkFig15EpochCount(b *testing.B) {
+	runExperiment(b, "fig15", "epochs_detected")
+}
+
+func BenchmarkSecVINoiseMitigation(b *testing.B) {
+	runExperiment(b, "sec6", "error_blocked_pct")
+}
+
+func BenchmarkSecVIIDetection(b *testing.B) {
+	runExperiment(b, "sec7", "detected_covert channel active")
+}
+
+// --- Ablations (DESIGN.md Sec. 6) ---
+
+// tinyCfg is the small geometry the ablations attack, so each
+// iteration is cheap.
+func tinyCfg(policy l2cache.ReplacementPolicy, hash bool) l2cache.Config {
+	return l2cache.Config{Sets: 64, Ways: 4, LineSize: 128, PageSize: 4096, Policy: policy, HashIndex: hash}
+}
+
+// covertErrorOn builds a covert channel on the given machine config
+// and returns the transmission error rate. Discovery failures (the
+// point of the randomized-replacement ablation) surface as an error.
+func covertErrorOn(cfg l2cache.Config, seed uint64) (float64, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: seed, CacheCfg: cfg})
+	thr := core.DefaultThresholds()
+	trojan, err := core.NewAttacker(m, 0, 0, 24, thr, seed^1)
+	if err != nil {
+		return 0, err
+	}
+	spy, err := core.NewAttacker(m, 1, 0, 24, thr, seed^2)
+	if err != nil {
+		return 0, err
+	}
+	tg, err := trojan.DiscoverPageGroups(cfg.Ways)
+	if err != nil {
+		return 0, err
+	}
+	sg, err := spy.DiscoverPageGroups(cfg.Ways)
+	if err != nil {
+		return 0, err
+	}
+	pairs, err := core.AlignChannels(trojan, spy,
+		trojan.AllEvictionSets(tg, cfg.Ways), spy.AllEvictionSets(sg, cfg.Ways), 2)
+	if err != nil {
+		return 0, err
+	}
+	ch, err := core.NewChannel(trojan, spy, pairs, core.DefaultCovertConfig())
+	if err != nil {
+		return 0, err
+	}
+	tx, err := ch.Transmit([]byte("ablation probe message"))
+	if err != nil {
+		return 0, err
+	}
+	return tx.ErrorRate(), nil
+}
+
+// BenchmarkAblationReplacementPolicy compares the attack under the
+// observed LRU policy vs. a randomized-replacement defense: under
+// randomization, eviction-set discovery and the channel degrade
+// (often failing outright), confirming why deterministic LRU is
+// load-bearing for the paper's attack.
+func BenchmarkAblationReplacementPolicy(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		policy l2cache.ReplacementPolicy
+	}{{"LRU", l2cache.LRU}, {"random", l2cache.RandomRepl}} {
+		b.Run(bc.name, func(b *testing.B) {
+			fails, errSum := 0, 0.0
+			for i := 0; i < b.N; i++ {
+				e, err := covertErrorOn(tinyCfg(bc.policy, true), 0xab1+uint64(i))
+				if err != nil {
+					fails++
+					continue
+				}
+				errSum += e
+			}
+			b.ReportMetric(float64(fails)/float64(b.N), "attack_failures/op")
+			if b.N > fails {
+				b.ReportMetric(errSum/float64(b.N-fails), "bit_error_rate")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIndexHash measures discovery with and without the
+// physical index hash: discovery works either way (the attack never
+// assumed the hash's shape), with comparable cost.
+func BenchmarkAblationIndexHash(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		hash bool
+	}{{"hashed", true}, {"unhashed", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := sim.MustNewMachine(sim.Options{Seed: 0x4a5 + uint64(i), CacheCfg: tinyCfg(l2cache.LRU, bc.hash)})
+				// 40 pages over 2 regions: every region gets enough
+				// pages for full coverage at any seed.
+				a, err := core.NewAttacker(m, 0, 0, 40, core.DefaultThresholds(), uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				groups, err := a.DiscoverPageGroups(4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := len(a.AllEvictionSets(groups, 4)); got != 64 {
+					b.Fatalf("discovered %d sets, want 64", got)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProbeParallelism compares the faithful sequential
+// Algorithm 1 pointer chase against the warp-parallel batched probe
+// used in production discovery: same verdicts, very different cost.
+func BenchmarkAblationProbeParallelism(b *testing.B) {
+	m := sim.MustNewMachine(sim.Options{Seed: 0xfe, CacheCfg: tinyCfg(l2cache.LRU, true)})
+	a, err := core.NewAttacker(m, 0, 0, 24, core.DefaultThresholds(), 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := a.LineVA(0, 0)
+	chain := make([]uint64, a.Pages-1)
+	for i := range chain {
+		chain[i] = uint64((i + 1) * a.ChunkSize)
+	}
+	b.Run("sequential-alg1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := a.Algorithm1Chase(target, chain, len(chain)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warp-batched", func(b *testing.B) {
+		vas := make([]arch.VA, len(chain))
+		for i, off := range chain {
+			vas[i] = a.Buf + arch.VA(off)
+		}
+		for i := 0; i < b.N; i++ {
+			err := a.Proc.Launch("bench-trial", 0, func(k *cudart.Kernel) {
+				k.TouchCG(target)
+				k.ProbeSet(vas)
+				k.TouchCG(target)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Run()
+		}
+	})
+}
+
+// BenchmarkAblationContentionNoise sweeps the port-contention noise
+// coefficient and reports the covert channel error rate: the
+// mechanism behind Fig. 9's error curve.
+func BenchmarkAblationContentionNoise(b *testing.B) {
+	for _, sigma := range []float64{7, 28, 112, 448} {
+		b.Run(fmt.Sprintf("sigma%.0f", sigma), func(b *testing.B) {
+			var errSum float64
+			for i := 0; i < b.N; i++ {
+				m := sim.MustNewMachine(sim.Options{
+					Seed: 0xc0 + uint64(i), CacheCfg: tinyCfg(l2cache.LRU, true),
+					ContentionSigmaPer: sigma,
+				})
+				thr := core.DefaultThresholds()
+				trojan, _ := core.NewAttacker(m, 0, 0, 24, thr, 1)
+				spy, _ := core.NewAttacker(m, 1, 0, 24, thr, 2)
+				tg, err := trojan.DiscoverPageGroups(4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sg, err := spy.DiscoverPageGroups(4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairs, err := core.AlignChannels(trojan, spy,
+					trojan.AllEvictionSets(tg, 4), spy.AllEvictionSets(sg, 4), 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ch, _ := core.NewChannel(trojan, spy, pairs, core.DefaultCovertConfig())
+				tx, err := ch.Transmit([]byte("noise sweep"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				errSum += tx.ErrorRate()
+			}
+			b.ReportMetric(errSum/float64(b.N), "bit_error_rate")
+		})
+	}
+}
+
+// BenchmarkExtMIGDefense regenerates the MIG-partitioning extension
+// experiment: the attack must align on the stock box and fail under
+// partitioning.
+func BenchmarkExtMIGDefense(b *testing.B) {
+	runExperiment(b, "mig", "mig_aligned")
+}
+
+// BenchmarkExtAllPairs regenerates the every-NVLink-pair timing sweep.
+func BenchmarkExtAllPairs(b *testing.B) {
+	runExperiment(b, "pairs", "connected_pairs")
+}
+
+// BenchmarkExtMultiGPU regenerates the additional-spy-GPUs extension.
+func BenchmarkExtMultiGPU(b *testing.B) {
+	runExperiment(b, "multigpu", "bw_2_4+4 sets")
+}

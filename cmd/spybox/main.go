@@ -1,0 +1,123 @@
+// Command spybox regenerates the paper's tables and figures on the
+// simulated DGX-1.
+//
+// Usage:
+//
+//	spybox list
+//	spybox run <experiment>|all [-seed N] [-scale small|default|paper] [-out DIR]
+//
+// Each experiment prints its report to stdout; with -out, chart data
+// is also written as CSV into DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"spybox/internal/expt"
+	"spybox/internal/plot"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range expt.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		if err := runCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "spybox:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  spybox list
+  spybox run <experiment>|all [-seed N] [-scale small|default|paper] [-out DIR]`)
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seed := fs.Uint64("seed", 20230612, "experiment seed (results are deterministic per seed)")
+	scaleStr := fs.String("scale", "default", "experiment scale: small, default, or paper")
+	outDir := fs.String("out", "", "directory for CSV chart data (optional)")
+	if len(args) == 0 {
+		return fmt.Errorf("run: missing experiment ID (try 'spybox list' or 'all')")
+	}
+	id := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	scale, err := expt.ParseScale(*scaleStr)
+	if err != nil {
+		return err
+	}
+	params := expt.Params{Seed: *seed, Scale: scale}
+
+	var todo []expt.Experiment
+	if id == "all" {
+		todo = expt.Registry()
+	} else {
+		e, ok := expt.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'spybox list')", id)
+		}
+		todo = []expt.Experiment{e}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		res, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		res.Print(os.Stdout)
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *outDir != "" {
+			if len(res.Series) > 0 {
+				if err := writeCSV(*outDir, res); err != nil {
+					return err
+				}
+			}
+			for name, data := range res.Artifacts {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					return err
+				}
+				path := filepath.Join(*outDir, name)
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("(artifact written to %s)\n", path)
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, res *expt.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, res.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := plot.CSV(f, res.Series); err != nil {
+		return err
+	}
+	fmt.Printf("(chart data written to %s)\n\n", path)
+	return nil
+}

@@ -1,0 +1,77 @@
+// Covertchat: sends a message from a trojan on GPU0 to a spy on GPU1
+// through L2 cache contention — the paper's Sec. IV attack end to
+// end: discovery, cross-process alignment, transmission, decode.
+//
+// Usage: covertchat [-sets N] [-msg TEXT]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spybox/internal/arch"
+	"spybox/internal/core"
+	"spybox/internal/sim"
+)
+
+func main() {
+	numSets := flag.Int("sets", 4, "parallel cache sets (the Fig. 9 x-axis)")
+	msg := flag.String("msg", "Hello! How are you?", "message to transmit covertly")
+	flag.Parse()
+
+	m := sim.MustNewMachine(sim.Options{Seed: 1234})
+	prof, err := core.CharacterizeTiming(m, 0, 1, 48, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("discovering eviction sets (trojan on GPU0, spy on GPU1)...")
+	trojan, err := core.NewAttacker(m, 0, 0, 256, prof.Thresholds, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spy, err := core.NewAttacker(m, 1, 0, 256, prof.Thresholds, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tg, err := trojan.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("aligning %d cache-set channels across processes...\n", *numSets)
+	pairs, err := core.AlignChannels(trojan, spy,
+		trojan.AllEvictionSets(tg, arch.L2Ways),
+		spy.AllEvictionSets(sg, arch.L2Ways), *numSets)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ch, err := core.NewChannel(trojan, spy, pairs, core.DefaultCovertConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx, err := ch.Transmit([]byte(*msg))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ntrojan sent:  %q\n", *msg)
+	fmt.Printf("spy received: %q\n", string(core.BitsToBytes(tx.ReceivedBits)))
+	fmt.Printf("bit errors:   %d/%d (%.2f%%)\n", tx.BitErrors, len(tx.SentBits), 100*tx.ErrorRate())
+	fmt.Printf("bandwidth:    %.4f MB/s over %d sets (%.2f ms of GPU time)\n",
+		tx.BandwidthMBps(), *numSets, 1000*tx.Duration.Seconds())
+
+	fmt.Println("\nfirst probe samples (spy's view; ~630cy = '0', ~950cy = '1'):")
+	for i, pt := range tx.Trace {
+		if i >= 12 {
+			break
+		}
+		fmt.Printf("  t=%-9d avg latency %.0f cycles\n", uint64(pt.T), pt.AvgLat)
+	}
+}

@@ -1,0 +1,89 @@
+// Fingerprint: spies on a victim application running on GPU0 from
+// GPU1 and renders its memorygram (the paper's Fig. 11), then guesses
+// which of the six applications it was by matching against freshly
+// collected reference samples.
+//
+// Usage: fingerprint [-app NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spybox/internal/arch"
+	"spybox/internal/classify"
+	"spybox/internal/core"
+	"spybox/internal/memgram"
+	"spybox/internal/sim"
+	"spybox/internal/victim"
+)
+
+func main() {
+	appName := flag.String("app", "matmul", "victim application (vectoradd, histogram, blackscholes, matmul, quasirandom, walshtransform)")
+	flag.Parse()
+
+	m := sim.MustNewMachine(sim.Options{Seed: 77})
+	prof, err := core.CharacterizeTiming(m, 0, 1, 48, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spy, err := core.NewAttacker(m, 1, 0, 256, prof.Thresholds, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := spy.AllEvictionSets(sg, arch.L2Ways)
+	monitored := make([]core.EvictionSet, 0, 128)
+	for i := 0; i < 128; i++ {
+		monitored = append(monitored, all[i*len(all)/128])
+	}
+	vcfg := victim.Config{ArrayKB: 256, Passes: 400, ChunkDelay: 2500}
+
+	record := func(name string, seed uint64) *memgram.Gram {
+		app, err := victim.NewApp(name, m, 0, seed, vcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		victimDone, monitorDone := false, false
+		app.Stop = &monitorDone
+		res, err := spy.MonitorConcurrent(monitored, core.MonitorOptions{
+			Epochs:    56,
+			StopEarly: func() bool { return victimDone },
+			DoneFlag:  &monitorDone,
+		}, func() error { return app.Launch(&victimDone) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, al := range app.Proc.Space().Allocs() {
+			app.Proc.Free(al.Base)
+		}
+		g, err := memgram.New(res.Miss, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	}
+
+	fmt.Printf("spying on %q from a different GPU...\n\n", *appName)
+	target := record(*appName, 999)
+	fmt.Println(target.RenderASCII(72, 18))
+
+	fmt.Println("collecting reference samples for all six applications...")
+	var train []classify.Sample
+	for class, name := range victim.AppNames {
+		for s := 0; s < 6; s++ {
+			g := record(name, uint64(1000*class+s))
+			train = append(train, classify.Sample{X: g.Features(), Y: class})
+		}
+	}
+	knn, err := classify.NewKNN(3, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guess := knn.Predict(target.Features())
+	fmt.Printf("\nclassifier's guess: %q (truth: %q)\n", victim.AppNames[guess], *appName)
+}

@@ -1,0 +1,92 @@
+// Modelextract: spies on an MLP being trained on GPU0 and recovers
+// its hidden-layer width from the remote L2 miss intensity — the
+// paper's Sec. V-B / Table II attack.
+//
+// Usage: modelextract [-hidden N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spybox/internal/arch"
+	"spybox/internal/core"
+	"spybox/internal/memgram"
+	"spybox/internal/sim"
+	"spybox/internal/victim"
+)
+
+func main() {
+	hidden := flag.Int("hidden", 256, "the victim's secret hidden-layer width (64, 128, 256 or 512)")
+	flag.Parse()
+
+	m := sim.MustNewMachine(sim.Options{Seed: 4242})
+	prof, err := core.CharacterizeTiming(m, 0, 1, 48, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spy, err := core.NewAttacker(m, 1, 0, 256, prof.Thresholds, 55)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := spy.AllEvictionSets(sg, arch.L2Ways)
+	monitored := make([]core.EvictionSet, 0, 256)
+	for i := 0; i < 256; i++ {
+		monitored = append(monitored, all[i*len(all)/256])
+	}
+
+	observe := func(h int, seed uint64) (float64, *memgram.Gram) {
+		cfg := victim.MLPVictimConfig{Hidden: h, Epochs: 1, Samples: 64, BatchSize: 16, EpochGapOps: 0}
+		v, err := victim.NewMLPVictim(m, 0, seed, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		victimDone := false
+		res, err := spy.MonitorConcurrent(monitored, core.MonitorOptions{
+			Epochs:    240,
+			StopEarly: func() bool { return victimDone },
+		}, func() error { return v.Launch(&victimDone) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, al := range v.Proc.Space().Allocs() {
+			v.Proc.Free(al.Base)
+		}
+		g, _ := memgram.New(res.Miss, fmt.Sprintf("mlp-h%d", h))
+		return res.AvgMissesPerSet(), g
+	}
+
+	// Offline: build the reference profile, as the attacker would in
+	// their own DGX box.
+	fmt.Println("building reference miss profiles (offline phase)...")
+	candidates := []int{64, 128, 256, 512}
+	reference := map[int]float64{}
+	for _, h := range candidates {
+		avg, _ := observe(h, uint64(h))
+		reference[h] = avg
+		fmt.Printf("  hidden=%3d -> avg misses per set %.1f\n", h, avg)
+	}
+
+	// Online: observe the victim with the secret width.
+	fmt.Printf("\nspying on the victim (secret hidden width: %d)...\n", *hidden)
+	obs, gram := observe(*hidden, 0xbeef)
+	fmt.Printf("observed avg misses per set: %.1f\n\n", obs)
+	fmt.Println(gram.RenderASCII(72, 14))
+
+	best, bestD := 0, -1.0
+	for _, h := range candidates {
+		d := obs - reference[h]
+		if d < 0 {
+			d = -d
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = h, d
+		}
+	}
+	fmt.Printf("inferred hidden-layer width: %d (truth: %d)\n", best, *hidden)
+}

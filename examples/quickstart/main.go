@@ -1,0 +1,59 @@
+// Quickstart: stand up the simulated DGX-1, reverse engineer the L2
+// timing and geometry from user level, and print what the attacker
+// learned. This walks the same path as Sec. III of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spybox/internal/arch"
+	"spybox/internal/core"
+	"spybox/internal/sim"
+)
+
+func main() {
+	// A DGX-1 box: eight P100s, NVLink hybrid cube-mesh.
+	m := sim.MustNewMachine(sim.Options{Seed: 42})
+	fmt.Printf("machine: %d GPUs, L2 %d sets x %d ways x %d B lines\n",
+		m.NumGPUs(), arch.L2Sets, arch.L2Ways, arch.CacheLineSize)
+
+	// Step 1: timing characterization (Fig. 4). One process on GPU0
+	// times local accesses; another on GPU1 times remote accesses to
+	// GPU0 memory over NVLink.
+	prof, err := core.CharacterizeTiming(m, 0, 1, 48, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntiming characterization (four access classes):")
+	fmt.Println(" ", prof.Thresholds)
+
+	// Step 2: eviction-set discovery on the attacker's own buffer,
+	// allocated on the target GPU (Sec. III-B, Algorithm 1).
+	att, err := core.NewAttacker(m, 1, 0, 256, prof.Thresholds, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := att.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndiscovered %d conflict groups over %d pages:\n", len(groups.Groups), att.Pages)
+	for i, g := range groups.Groups {
+		fmt.Printf("  group %d: %d pages\n", i, len(g))
+	}
+	sets := att.AllEvictionSets(groups, arch.L2Ways)
+	fmt.Printf("eviction sets covering %d unique cache sets\n", len(sets))
+
+	// Step 3: geometry inference (Table I).
+	fresh, err := core.NewAttacker(m, 1, 0, 16, prof.Thresholds, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geo, err := att.InferGeometry(groups, 32, fresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreverse-engineered geometry: %s\n", geo)
+	fmt.Println("\nall of the above was learned from timing alone, from a remote GPU.")
+}

@@ -1,0 +1,112 @@
+// End-to-end integration tests: the complete attack pipeline at full
+// P100 geometry, exercised exactly as the examples and the CLI drive
+// it. These complement the per-package unit tests, which mostly use a
+// scaled-down cache.
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spybox/internal/arch"
+	"spybox/internal/core"
+	"spybox/internal/expt"
+	"spybox/internal/sim"
+)
+
+// TestEndToEndCovertMessage runs characterization -> discovery ->
+// alignment -> transmission on the real DGX-1 geometry and requires
+// the paper's headline behaviour: the message arrives.
+func TestEndToEndCovertMessage(t *testing.T) {
+	m := sim.MustNewMachine(sim.Options{Seed: 424242})
+	prof, err := core.CharacterizeTiming(m, 0, 1, 48, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trojan, err := core.NewAttacker(m, 0, 0, 176, prof.Thresholds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy, err := core.NewAttacker(m, 1, 0, 176, prof.Thresholds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := trojan.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := core.AlignChannels(trojan, spy,
+		trojan.AllEvictionSets(tg, arch.L2Ways),
+		spy.AllEvictionSets(sg, arch.L2Ways), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := core.NewChannel(trojan, spy, pairs, core.DefaultCovertConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("Hello! How are you?")
+	tx, err := ch.Transmit(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.BitsToBytes(tx.ReceivedBits); !bytes.Equal(got, msg) {
+		t.Fatalf("message corrupted: %q (%d bit errors)", got, tx.BitErrors)
+	}
+	// And the reliable (FEC) path on the same channel.
+	got, _, _, err := ch.TransmitReliable([]byte("second message, with FEC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second message, with FEC" {
+		t.Fatalf("FEC transmit failed: %q", got)
+	}
+}
+
+// TestEndToEndDeterminism re-runs a full experiment and demands
+// byte-identical reports: the simulator's core guarantee.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() string {
+		r, err := expt.Fig10(expt.Params{Seed: 99, Scale: expt.Small})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		r.Print(&sb)
+		return sb.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatal("identical seeds produced different experiment reports")
+	}
+}
+
+// TestEndToEndAllExperimentsSmoke ensures every registered experiment
+// at least constructs its report without error. The heavyweight ones
+// are exercised individually in internal/expt; this guards the
+// registry wiring (run only with -short disabled... it is quick
+// except fig12, which is skipped under -short).
+func TestEndToEndAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test of all experiments skipped in -short mode")
+	}
+	for _, e := range expt.Registry() {
+		if e.ID == "fig12" && testing.Short() {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r, err := e.Run(expt.Params{Seed: 7, Scale: expt.Small})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Lines) == 0 {
+				t.Error("empty report")
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+// A small one-hidden-layer neural classifier — the closer analogue of
+// the paper's image classifier than plain softmax regression. Stdlib
+// only, trained by SGD with ReLU hidden units.
+package classify
+
+import (
+	"fmt"
+	"math"
+
+	"spybox/internal/xrand"
+)
+
+// NeuralNet is a dim -> hidden -> classes perceptron with ReLU hidden
+// activations and a softmax output.
+type NeuralNet struct {
+	Dim, Hidden, Classes int
+	W1                   [][]float64 // [Hidden][Dim+1], bias last
+	W2                   [][]float64 // [Classes][Hidden+1], bias last
+}
+
+// NeuralConfig controls neural-classifier training.
+type NeuralConfig struct {
+	Hidden int
+	Epochs int
+	LR     float64
+	L2     float64
+}
+
+// DefaultNeuralConfig suits memorygram feature vectors.
+func DefaultNeuralConfig() NeuralConfig {
+	return NeuralConfig{Hidden: 48, Epochs: 120, LR: 0.02, L2: 1e-4}
+}
+
+// TrainNeural fits the network on the training samples.
+func TrainNeural(train []Sample, classes int, cfg NeuralConfig, rng *xrand.Source) (*NeuralNet, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("classify: empty training set")
+	}
+	dim := len(train[0].X)
+	for i, s := range train {
+		if len(s.X) != dim {
+			return nil, fmt.Errorf("classify: sample %d has dim %d, want %d", i, len(s.X), dim)
+		}
+		if s.Y < 0 || s.Y >= classes {
+			return nil, fmt.Errorf("classify: label %d outside [0,%d)", s.Y, classes)
+		}
+	}
+	if cfg.Hidden <= 0 {
+		cfg = DefaultNeuralConfig()
+	}
+	n := &NeuralNet{Dim: dim, Hidden: cfg.Hidden, Classes: classes}
+	n.W1 = make([][]float64, cfg.Hidden)
+	s1 := math.Sqrt(2 / float64(dim))
+	for h := range n.W1 {
+		n.W1[h] = make([]float64, dim+1)
+		for d := 0; d < dim; d++ {
+			n.W1[h][d] = rng.Norm() * s1
+		}
+	}
+	n.W2 = make([][]float64, classes)
+	s2 := math.Sqrt(2 / float64(cfg.Hidden))
+	for c := range n.W2 {
+		n.W2[c] = make([]float64, cfg.Hidden+1)
+		for h := 0; h < cfg.Hidden; h++ {
+			n.W2[c][h] = rng.Norm() * s2
+		}
+	}
+
+	hid := make([]float64, cfg.Hidden)
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		for _, i := range rng.Perm(len(train)) {
+			s := train[i]
+			probs := n.forward(s.X, hid)
+			// Output gradient.
+			for c := 0; c < classes; c++ {
+				g := probs[c]
+				if c == s.Y {
+					g--
+				}
+				w := n.W2[c]
+				for h := 0; h < cfg.Hidden; h++ {
+					w[h] -= cfg.LR * (g*hid[h] + cfg.L2*w[h])
+				}
+				w[cfg.Hidden] -= cfg.LR * g
+			}
+			// Hidden gradient (ReLU mask).
+			for h := 0; h < cfg.Hidden; h++ {
+				if hid[h] <= 0 {
+					continue
+				}
+				var g float64
+				for c := 0; c < classes; c++ {
+					gc := probs[c]
+					if c == s.Y {
+						gc--
+					}
+					g += gc * n.W2[c][h]
+				}
+				w := n.W1[h]
+				step := cfg.LR * g
+				for d, v := range s.X {
+					w[d] -= step*v + cfg.LR*cfg.L2*w[d]
+				}
+				w[dim] -= cfg.LR * g
+			}
+		}
+	}
+	return n, nil
+}
+
+// forward computes class probabilities; hid receives the hidden
+// activations (scratch buffer of length Hidden).
+func (n *NeuralNet) forward(x []float64, hid []float64) []float64 {
+	for h := 0; h < n.Hidden; h++ {
+		w := n.W1[h]
+		s := w[n.Dim]
+		for d, v := range x {
+			s += w[d] * v
+		}
+		if s < 0 {
+			s = 0
+		}
+		hid[h] = s
+	}
+	logits := make([]float64, n.Classes)
+	maxL := math.Inf(-1)
+	for c := 0; c < n.Classes; c++ {
+		w := n.W2[c]
+		s := w[n.Hidden]
+		for h := 0; h < n.Hidden; h++ {
+			s += w[h] * hid[h]
+		}
+		logits[c] = s
+		if s > maxL {
+			maxL = s
+		}
+	}
+	var z float64
+	for c := range logits {
+		logits[c] = math.Exp(logits[c] - maxL)
+		z += logits[c]
+	}
+	for c := range logits {
+		logits[c] /= z
+	}
+	return logits
+}
+
+// Predict returns the most likely class for x.
+func (n *NeuralNet) Predict(x []float64) int {
+	hid := make([]float64, n.Hidden)
+	probs := n.forward(x, hid)
+	best := 0
+	for c, p := range probs {
+		if p > probs[best] {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,109 @@
+// The faithful, unoptimized Algorithm 1 discovery loop: a sequential
+// pointer chase with remove-and-repeat, exactly as Sec. III-B
+// describes it. Production code uses the page-accelerated
+// DiscoverPageGroups; this version exists for fidelity, for the
+// probe-parallelism ablation, and because the paper's own text is the
+// specification it is tested against.
+package core
+
+import (
+	"fmt"
+
+	"spybox/internal/arch"
+)
+
+// FindEvictionSetNaive discovers one eviction set for the target line
+// using only Algorithm 1 semantics: chase through candidate lines
+// (sequential, data-dependent loads), detect the target's eviction
+// from its re-access time, attribute it to the most recently added
+// element by shrinking the chase, remove that element into the set,
+// and repeat until the chase no longer evicts. candidates are byte
+// offsets into the attacker's buffer; the returned offsets all
+// conflict with the target.
+//
+// The cost is O(found * log(n)) full chases; on the real 4 MB cache
+// the paper additionally skips addresses (their "optimization
+// methodologies"), which DiscoverPageGroups generalizes.
+func (a *Attacker) FindEvictionSetNaive(target arch.VA, candidates []uint64) ([]uint64, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: no candidate addresses")
+	}
+	chase := append([]uint64(nil), candidates...)
+	var conflicters []uint64
+
+	evicts := func(prefix int) (bool, error) {
+		// Majority vote of 3 sequential pointer-chase trials.
+		miss := 0
+		for v := 0; v < 3; v++ {
+			_, second, err := a.Algorithm1Chase(target, chase[:prefix], prefix)
+			if err != nil {
+				return false, err
+			}
+			if a.isMiss(second) {
+				miss++
+			}
+		}
+		return miss >= 2, nil
+	}
+
+	for len(chase) > 0 {
+		full, err := evicts(len(chase))
+		if err != nil {
+			return nil, err
+		}
+		if !full {
+			break
+		}
+		// Find the minimal evicting prefix; its last element is the
+		// conflicter ("the eviction ... is caused by accessing the
+		// last address that got accessed").
+		lo, hi := 1, len(chase)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			ev, err := evicts(mid)
+			if err != nil {
+				return nil, err
+			}
+			if ev {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		conflicters = append(conflicters, chase[lo-1])
+		chase = append(chase[:lo-1], chase[lo:]...)
+	}
+	if len(conflicters) == 0 {
+		return nil, fmt.Errorf("core: target has no conflicters among %d candidates", len(candidates))
+	}
+	return conflicters, nil
+}
+
+// VerifyEvictionSet checks a discovered conflict set the way the paper
+// validates its sets: re-run the chase restricted to the recorded
+// addresses and confirm the target is evicted exactly when at least
+// `ways` of them are chased.
+func (a *Attacker) VerifyEvictionSet(target arch.VA, conflicters []uint64, ways int) (bool, error) {
+	if len(conflicters) < ways {
+		return false, fmt.Errorf("core: only %d conflicters, need %d", len(conflicters), ways)
+	}
+	// One fewer than ways must NOT evict...
+	_, second, err := a.Algorithm1Chase(target, conflicters[:ways-1], ways-1)
+	if err != nil {
+		return false, err
+	}
+	if a.isMiss(second) {
+		return false, nil
+	}
+	// ...and exactly ways must evict, reliably.
+	for trial := 0; trial < 3; trial++ {
+		_, second, err := a.Algorithm1Chase(target, conflicters[:ways], ways)
+		if err != nil {
+			return false, err
+		}
+		if !a.isMiss(second) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestFindEvictionSetNaive(t *testing.T) {
+	m := tinyMachine(71)
+	a, err := NewAttacker(m, 0, 0, 20, DefaultThresholds(), 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := a.LineVA(0, 0)
+	targetSet := trueSet(t, a, target)
+	candidates := make([]uint64, 0, a.Pages-1)
+	wantConflict := map[uint64]bool{}
+	for p := 1; p < a.Pages; p++ {
+		off := uint64(p * a.ChunkSize)
+		candidates = append(candidates, off)
+		if trueSet(t, a, a.LineVA(p, 0)) == targetSet {
+			wantConflict[off] = true
+		}
+	}
+	if len(wantConflict) < 5 {
+		t.Skipf("only %d true conflicters", len(wantConflict))
+	}
+	found, err := a.FindEvictionSetNaive(target, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every found offset must be a true conflicter.
+	for _, off := range found {
+		if !wantConflict[off] {
+			t.Errorf("offset %#x wrongly reported as conflicting", off)
+		}
+	}
+	// Remove-and-repeat stops once fewer than `ways` conflicters
+	// remain in the chase, so it finds all but ways-1 of them.
+	if want := len(wantConflict) - 3; len(found) < want {
+		t.Errorf("found %d conflicters, want at least %d of %d", len(found), want, len(wantConflict))
+	}
+}
+
+func TestFindEvictionSetNaiveNoConflict(t *testing.T) {
+	m := tinyMachine(72)
+	a, err := NewAttacker(m, 0, 0, 20, DefaultThresholds(), 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := a.LineVA(0, 0)
+	targetSet := trueSet(t, a, target)
+	// Candidates from the other region only: no conflicters exist.
+	var candidates []uint64
+	for p := 1; p < a.Pages; p++ {
+		if trueSet(t, a, a.LineVA(p, 0)) != targetSet {
+			candidates = append(candidates, uint64(p*a.ChunkSize))
+		}
+	}
+	if _, err := a.FindEvictionSetNaive(target, candidates); err == nil {
+		t.Error("no-conflict candidate set should fail")
+	}
+	if _, err := a.FindEvictionSetNaive(target, nil); err == nil {
+		t.Error("empty candidates should fail")
+	}
+}
+
+func TestVerifyEvictionSet(t *testing.T) {
+	m := tinyMachine(73)
+	a, err := NewAttacker(m, 0, 0, 24, DefaultThresholds(), 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := a.LineVA(0, 0)
+	targetSet := trueSet(t, a, target)
+	var conflicters, mixed []uint64
+	for p := 1; p < a.Pages; p++ {
+		off := uint64(p * a.ChunkSize)
+		if trueSet(t, a, a.LineVA(p, 0)) == targetSet {
+			conflicters = append(conflicters, off)
+		} else if len(mixed) < 2 {
+			mixed = append(mixed, off)
+		}
+	}
+	if len(conflicters) < 4 {
+		t.Skipf("only %d conflicters", len(conflicters))
+	}
+	ok, err := a.VerifyEvictionSet(target, conflicters, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("true eviction set failed verification")
+	}
+	// Diluted set (2 real + 2 wrong): 4 chased lines contain only 2
+	// conflicters -> target survives -> verification fails.
+	diluted := append(append([]uint64(nil), conflicters[:2]...), mixed...)
+	ok, err = a.VerifyEvictionSet(target, diluted, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("diluted set passed verification")
+	}
+	if _, err := a.VerifyEvictionSet(target, conflicters[:2], 4); err == nil {
+		t.Error("undersized set should error")
+	}
+}

@@ -1,0 +1,171 @@
+// Package core implements the paper's contribution: user-level
+// reverse engineering of the multi-GPU L2 cache hierarchy and the
+// cross-GPU Prime+Probe covert and side channel attacks built on it.
+//
+// The package is written the way the paper's CUDA code is written —
+// against the cudart API only, with no visibility into VA->PA mappings
+// or cache internals. Everything the attacks know, they learned from
+// timing:
+//
+//   - timing.go     characterizes the four access classes and derives
+//     hit/miss thresholds (Fig. 4);
+//   - evset.go      discovers eviction sets with the Algorithm 1
+//     pointer chase, de-aliases them (Fig. 6), and
+//     derives the Table I geometry;
+//   - align.go      aligns eviction sets across two processes with the
+//     Algorithm 2 contention test (Fig. 7);
+//   - covert.go     is the cross-GPU covert channel (Figs. 8-10);
+//   - probe.go      is the Prime+Probe side-channel monitor producing
+//     memorygrams (Figs. 11-15).
+package core
+
+import (
+	"fmt"
+
+	"spybox/internal/arch"
+	"spybox/internal/cudart"
+	"spybox/internal/sim"
+	"spybox/internal/stats"
+)
+
+// Thresholds carries the timing knowledge the reverse-engineering step
+// produces: the four cluster centers and the decision boundaries the
+// attacks use to classify an access as hit or miss.
+type Thresholds struct {
+	// Centers are the four cluster means in ascending order:
+	// local hit, local miss, remote hit, remote miss.
+	Centers [4]float64
+	// LocalBoundary separates local hits from local misses.
+	LocalBoundary float64
+	// RemoteBoundary separates remote hits from remote misses.
+	RemoteBoundary float64
+}
+
+// Boundary returns the hit/miss decision boundary for the given access
+// locality.
+func (t Thresholds) Boundary(remote bool) float64 {
+	if remote {
+		return t.RemoteBoundary
+	}
+	return t.LocalBoundary
+}
+
+// IsMiss classifies one access latency.
+func (t Thresholds) IsMiss(lat arch.Cycles, remote bool) bool {
+	return float64(lat) > t.Boundary(remote)
+}
+
+// String summarizes the thresholds for reports.
+func (t Thresholds) String() string {
+	return fmt.Sprintf("centers=[%.0f %.0f %.0f %.0f] localBoundary=%.0f remoteBoundary=%.0f",
+		t.Centers[0], t.Centers[1], t.Centers[2], t.Centers[3], t.LocalBoundary, t.RemoteBoundary)
+}
+
+// TimingProfile is the full result of the Fig. 4 characterization:
+// raw samples per class, the derived thresholds, and the combined
+// histogram as the paper plots it.
+type TimingProfile struct {
+	LocalHit, LocalMiss   []float64
+	RemoteHit, RemoteMiss []float64
+	Thresholds            Thresholds
+	Histogram             *stats.Histogram
+}
+
+// CharacterizeTiming reproduces the Sec. III-A microbenchmark: a
+// process on devLocal times cold and warm accesses to a buffer homed
+// on its own GPU, and a second process on devRemote times cold and
+// warm accesses to a buffer homed on devLocal (reached over NVLink).
+// The four resulting clusters are separated with 1-D k-means and the
+// midpoints between adjacent relevant clusters become the decision
+// thresholds.
+//
+// accesses is the number of lines sampled per class; the paper uses
+// 48 per loop and repeats. It must be at least 8 for the clustering
+// to be meaningful.
+func CharacterizeTiming(m *sim.Machine, devLocal, devRemote arch.DeviceID, accesses int, seed uint64) (*TimingProfile, error) {
+	if accesses < 8 {
+		return nil, fmt.Errorf("core: need >=8 accesses per class, got %d", accesses)
+	}
+	local, err := cudart.NewProcess(m, devLocal, seed)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := cudart.NewProcess(m, devRemote, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	if err := remote.EnablePeerAccess(devLocal); err != nil {
+		return nil, err
+	}
+
+	// Spread samples over distinct pages so DRAM row locality does not
+	// compress the miss cluster into a single spike.
+	bufSize := uint64(accesses) * arch.PageSize
+	localBuf, err := local.Malloc(bufSize)
+	if err != nil {
+		return nil, err
+	}
+	remoteBuf, err := remote.MallocOnDevice(devLocal, bufSize)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &TimingProfile{}
+	sample := func(proc *cudart.Process, buf arch.VA, miss, hit *[]float64) error {
+		err := proc.Launch("timing", 0, func(k *cudart.Kernel) {
+			for i := 0; i < accesses; i++ {
+				va := buf + arch.VA(uint64(i)*arch.PageSize)
+				// Cold access: DRAM (local) or remote DRAM.
+				lat := k.TouchCG(va)
+				k.SharedWrite() // record in shared buffer, off the L2 path
+				*miss = append(*miss, float64(lat))
+				// Warm access: L2 hit at the home GPU.
+				lat = k.TouchCG(va)
+				k.SharedWrite()
+				*hit = append(*hit, float64(lat))
+			}
+		})
+		if err != nil {
+			return err
+		}
+		m.Run()
+		return nil
+	}
+	if err := sample(local, localBuf, &p.LocalMiss, &p.LocalHit); err != nil {
+		return nil, err
+	}
+	if err := sample(remote, remoteBuf, &p.RemoteMiss, &p.RemoteHit); err != nil {
+		return nil, err
+	}
+
+	all := make([]float64, 0, 4*accesses)
+	all = append(all, p.LocalHit...)
+	all = append(all, p.LocalMiss...)
+	all = append(all, p.RemoteHit...)
+	all = append(all, p.RemoteMiss...)
+
+	centers, _ := stats.KMeans1D(all, 4)
+	gaps := stats.ClusterGaps(centers)
+	copy(p.Thresholds.Centers[:], centers)
+	p.Thresholds.LocalBoundary = gaps[0]  // between local hit and local miss
+	p.Thresholds.RemoteBoundary = gaps[2] // between remote hit and remote miss
+
+	h := stats.NewHistogram(stats.Min(all)-20, stats.Max(all)+20, 64)
+	h.AddAll(all)
+	p.Histogram = h
+	return p, nil
+}
+
+// DefaultThresholds returns thresholds computed from the nominal
+// latency model, for tests and for attack phases that reuse an
+// earlier characterization ("one time, offline" in the threat model).
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		Centers: [4]float64{
+			float64(arch.NomLocalHit), float64(arch.NomLocalMiss),
+			float64(arch.NomRemoteHit), float64(arch.NomRemoteMiss),
+		},
+		LocalBoundary:  float64(arch.NomLocalHit+arch.NomLocalMiss) / 2,
+		RemoteBoundary: float64(arch.NomRemoteHit+arch.NomRemoteMiss) / 2,
+	}
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"spybox/internal/arch"
+	"spybox/internal/l2cache"
+	"spybox/internal/sim"
+)
+
+// tinyCache is a small geometry that keeps discovery tests fast:
+// 64 sets x 4 ways, 4 KB hash chunks -> 32 lines per chunk, 2 regions.
+func tinyCache() l2cache.Config {
+	return l2cache.Config{Sets: 64, Ways: 4, LineSize: 128, PageSize: 4096, Policy: l2cache.LRU, HashIndex: true}
+}
+
+func tinyMachine(seed uint64) *sim.Machine {
+	return sim.MustNewMachine(sim.Options{Seed: seed, CacheCfg: tinyCache()})
+}
+
+// trueSet returns the ground-truth physical set index of an attacker
+// address. Test-only instrumentation: attack code never sees this.
+func trueSet(t *testing.T, a *Attacker, va arch.VA) int {
+	t.Helper()
+	pa, err := a.Proc.Translate(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.m.Device(a.Target).L2().SetIndex(pa)
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	thr := DefaultThresholds()
+	if thr.IsMiss(arch.NomLocalHit, false) || !thr.IsMiss(arch.NomLocalMiss, false) {
+		t.Error("local classification wrong")
+	}
+	if thr.IsMiss(arch.NomRemoteHit, true) || !thr.IsMiss(arch.NomRemoteMiss, true) {
+		t.Error("remote classification wrong")
+	}
+	if thr.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCharacterizeTimingFindsFourClusters(t *testing.T) {
+	m := sim.MustNewMachine(sim.Options{Seed: 1})
+	p, err := CharacterizeTiming(m, 0, 1, 48, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [4]float64{float64(arch.NomLocalHit), float64(arch.NomLocalMiss),
+		float64(arch.NomRemoteHit), float64(arch.NomRemoteMiss)}
+	for i, c := range p.Thresholds.Centers {
+		if math.Abs(c-want[i]) > 40 {
+			t.Errorf("cluster %d center = %.0f, want near %.0f", i, c, want[i])
+		}
+	}
+	if lb := p.Thresholds.LocalBoundary; lb <= want[0] || lb >= want[1] {
+		t.Errorf("local boundary %.0f outside (%v,%v)", lb, want[0], want[1])
+	}
+	if rb := p.Thresholds.RemoteBoundary; rb <= want[2] || rb >= want[3] {
+		t.Errorf("remote boundary %.0f outside (%v,%v)", rb, want[2], want[3])
+	}
+	if len(p.LocalHit) != 48 || len(p.RemoteMiss) != 48 {
+		t.Errorf("sample counts %d/%d", len(p.LocalHit), len(p.RemoteMiss))
+	}
+	if p.Histogram.Total() != 4*48 {
+		t.Errorf("histogram holds %d samples", p.Histogram.Total())
+	}
+	if _, err := CharacterizeTiming(m, 0, 1, 3, 1); err == nil {
+		t.Error("tiny sample count accepted")
+	}
+}
+
+func TestNewAttackerValidation(t *testing.T) {
+	m := tinyMachine(2)
+	if _, err := NewAttacker(m, 0, 0, 1, DefaultThresholds(), 5); err == nil {
+		t.Error("1 page accepted")
+	}
+	// Remote attacker to a non-linked GPU must fail at peer access.
+	if _, err := NewAttacker(m, 1, 6, 8, DefaultThresholds(), 5); err == nil {
+		t.Error("attacker across non-linked GPUs accepted")
+	}
+	a, err := NewAttacker(m, 1, 0, 8, DefaultThresholds(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Remote() {
+		t.Error("GPU1->GPU0 attacker should be remote")
+	}
+	if a.ChunkSize != 4096 || a.LinesPerChunk != 32 {
+		t.Errorf("chunk geometry %d/%d", a.ChunkSize, a.LinesPerChunk)
+	}
+}
+
+func TestAlgorithm1Chase(t *testing.T) {
+	m := tinyMachine(3)
+	a, err := NewAttacker(m, 0, 0, 12, DefaultThresholds(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a chain over offset-0 lines of all chunks; locate the
+	// target's true conflicters to know the expected outcome.
+	target := a.LineVA(0, 0)
+	targetSet := trueSet(t, a, target)
+	var sameSet, diffSet []uint64
+	for p := 1; p < a.Pages; p++ {
+		off := uint64(p * a.ChunkSize)
+		if trueSet(t, a, a.LineVA(p, 0)) == targetSet {
+			sameSet = append(sameSet, off)
+		} else {
+			diffSet = append(diffSet, off)
+		}
+	}
+	if len(sameSet) < 4 {
+		t.Skipf("seed yields only %d conflicters", len(sameSet))
+	}
+	// Chasing only different-set lines must not evict the target.
+	_, second, err := a.Algorithm1Chase(target, diffSet, len(diffSet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.isMiss(second) {
+		t.Errorf("target evicted by non-conflicting chase (lat %v)", second)
+	}
+	// Chasing >= ways conflicting lines must evict it.
+	_, second, err = a.Algorithm1Chase(target, sameSet, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.isMiss(second) {
+		t.Errorf("target survived a conflicting chase (lat %v)", second)
+	}
+}
+
+func TestDiscoverPageGroupsMatchesGroundTruth(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		attDev arch.DeviceID
+		seed   uint64
+	}{
+		{"local", 0, 11},
+		{"remote", 1, 12},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tinyMachine(tc.seed)
+			a, err := NewAttacker(m, tc.attDev, 0, 24, DefaultThresholds(), tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			groups, err := a.DiscoverPageGroups(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Ground truth: chunk region = set of its offset-0 line /
+			// lines-per-chunk.
+			wantGroup := make(map[int]int)
+			for p := 0; p < a.Pages; p++ {
+				wantGroup[p] = trueSet(t, a, a.LineVA(p, 0)) / a.LinesPerChunk
+			}
+			// Every discovered group must be region-pure and complete.
+			seen := make(map[int]bool)
+			for _, g := range groups.Groups {
+				region := wantGroup[g[0]]
+				for _, p := range g {
+					if wantGroup[p] != region {
+						t.Errorf("group mixes regions: page %d is region %d, group is %d",
+							p, wantGroup[p], region)
+					}
+					if seen[p] {
+						t.Errorf("page %d in two groups", p)
+					}
+					seen[p] = true
+				}
+			}
+			if len(seen) != a.Pages {
+				t.Errorf("classified %d of %d pages", len(seen), a.Pages)
+			}
+			// Groups must be maximal: count regions.
+			regions := make(map[int]bool)
+			for _, r := range wantGroup {
+				regions[r] = true
+			}
+			if len(groups.Groups) != len(regions) {
+				t.Errorf("found %d groups, ground truth has %d regions",
+					len(groups.Groups), len(regions))
+			}
+		})
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	g := &PageGroups{Groups: [][]int{{0, 2}, {1, 3}}}
+	if g.GroupOf(3) != 1 || g.GroupOf(0) != 0 {
+		t.Error("GroupOf wrong")
+	}
+	if g.GroupOf(99) != -1 {
+		t.Error("missing page should be -1")
+	}
+}
+
+func TestEvictionSetsCoverDistinctPhysicalSets(t *testing.T) {
+	m := tinyMachine(21)
+	a, err := NewAttacker(m, 0, 0, 24, DefaultThresholds(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := a.DiscoverPageGroups(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := a.AllEvictionSets(groups, 4)
+	if len(sets) != 64 { // 2 regions x 32 offsets = full tiny cache
+		t.Fatalf("built %d eviction sets, want 64", len(sets))
+	}
+	seenPhys := make(map[int]bool)
+	for _, es := range sets {
+		if len(es.Lines) != 4 {
+			t.Fatalf("set has %d lines", len(es.Lines))
+		}
+		phys := trueSet(t, a, es.Lines[0])
+		for _, va := range es.Lines[1:] {
+			if got := trueSet(t, a, va); got != phys {
+				t.Fatalf("eviction set spans physical sets %d and %d", phys, got)
+			}
+		}
+		if seenPhys[phys] {
+			t.Fatalf("two eviction sets map to physical set %d", phys)
+		}
+		seenPhys[phys] = true
+	}
+}
+
+func TestEvictionSetForValidation(t *testing.T) {
+	m := tinyMachine(22)
+	a, _ := NewAttacker(m, 0, 0, 24, DefaultThresholds(), 22)
+	groups := &PageGroups{Groups: [][]int{{0, 1, 2}}}
+	if _, err := a.EvictionSetFor(groups, 5, 0, 4); err == nil {
+		t.Error("bad group index accepted")
+	}
+	if _, err := a.EvictionSetFor(groups, 0, 0, 4); err == nil {
+		t.Error("undersized group accepted")
+	}
+	if _, err := a.EvictionSetFor(&PageGroups{Groups: [][]int{{0, 1, 2, 3}}}, 0, 99, 4); err == nil {
+		t.Error("offset beyond chunk accepted")
+	}
+}
+
+func TestAliased(t *testing.T) {
+	m := tinyMachine(23)
+	a, err := NewAttacker(m, 0, 0, 24, DefaultThresholds(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := a.DiscoverPageGroups(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groups.Groups[0]
+	if len(g) < 8 {
+		t.Skipf("group too small: %d", len(g))
+	}
+	s1 := EvictionSet{Lines: a.pagesToVAs(g[0:4], 0), Group: 0, Offset: 0}
+	s2 := EvictionSet{Lines: a.pagesToVAs(g[4:8], 0), Group: 0, Offset: 0}
+	al, err := a.Aliased(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !al {
+		t.Error("same-set pair not detected as aliased")
+	}
+	s3 := EvictionSet{Lines: a.pagesToVAs(g[4:8], 1), Group: 0, Offset: 1}
+	al, err = a.Aliased(s1, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al {
+		t.Error("distinct-set pair reported aliased")
+	}
+}
+
+func TestDeduplicateSets(t *testing.T) {
+	m := tinyMachine(24)
+	a, err := NewAttacker(m, 0, 0, 24, DefaultThresholds(), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := a.DiscoverPageGroups(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groups.Groups[0]
+	if len(g) < 8 {
+		t.Skipf("group too small: %d", len(g))
+	}
+	// Fabricate a wrongly-split discovery: two "groups" that are
+	// halves of one real group. Their sets alias pairwise.
+	mk := func(pages []int, group, off int) EvictionSet {
+		return EvictionSet{Lines: a.pagesToVAs(pages, off), Group: group, Offset: off}
+	}
+	sets := []EvictionSet{
+		mk(g[0:4], 0, 0), mk(g[0:4], 0, 1),
+		mk(g[4:8], 1, 0), mk(g[4:8], 1, 1), // aliases of the above
+	}
+	dedup, err := a.DeduplicateSets(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dedup) != 2 {
+		t.Fatalf("dedup kept %d sets, want 2", len(dedup))
+	}
+	for _, s := range dedup {
+		if s.Group != 0 {
+			t.Errorf("dedup kept the aliased group: %+v", s)
+		}
+	}
+	// No-alias input passes through intact.
+	clean := []EvictionSet{mk(g[0:4], 0, 0), mk(g[0:4], 0, 1)}
+	dedup, err = a.DeduplicateSets(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dedup) != 2 {
+		t.Errorf("clean sets were dropped: %d", len(dedup))
+	}
+}
+
+func TestDiscoverConsolidatesFragmentedGroups(t *testing.T) {
+	// Seed 0xb001 at 176 pages on the real P100 geometry yields a hash
+	// region with just 29 pages — below the 2*ways-1 threshold phase A
+	// needs — which fragmented discovery into 14 + 15 singleton groups
+	// before the consolidation pass existed. Full-geometry regression.
+	m := sim.MustNewMachine(sim.Options{Seed: 0xb001})
+	a, err := NewAttacker(m, 0, 0, 176, DefaultThresholds(), 0xb001^0x31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := a.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups.Groups) != 4 {
+		sizes := make([]int, len(groups.Groups))
+		for i, g := range groups.Groups {
+			sizes[i] = len(g)
+		}
+		t.Fatalf("discovery fragmented: %d groups with sizes %v", len(groups.Groups), sizes)
+	}
+	total := 0
+	for _, g := range groups.Groups {
+		total += len(g)
+		// Ground-truth purity of each consolidated group.
+		region := trueSet(t, a, a.LineVA(g[0], 0)) / a.LinesPerChunk
+		for _, p := range g {
+			if r := trueSet(t, a, a.LineVA(p, 0)) / a.LinesPerChunk; r != region {
+				t.Fatalf("page %d consolidated into wrong region (%d vs %d)", p, r, region)
+			}
+		}
+	}
+	if total != a.Pages {
+		t.Fatalf("classified %d of %d pages", total, a.Pages)
+	}
+}

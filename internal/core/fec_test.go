@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"spybox/internal/xrand"
+)
+
+func TestHammingRoundTripClean(t *testing.T) {
+	msg := []byte("covert channel payload")
+	got, corrected := HammingDecode(HammingEncode(msg))
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip: %q", got)
+	}
+	if corrected != 0 {
+		t.Fatalf("clean stream reported %d corrections", corrected)
+	}
+}
+
+func TestHammingCorrectsSingleBitErrors(t *testing.T) {
+	msg := []byte{0xA5, 0x3C, 0xFF, 0x00}
+	bits := HammingEncode(msg)
+	// Flip exactly one bit in every codeword.
+	rng := xrand.New(9)
+	for cw := 0; cw*7 < len(bits); cw++ {
+		bits[cw*7+rng.Intn(7)] ^= 1
+	}
+	got, corrected := HammingDecode(bits)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("decode with 1 error/codeword failed: %x", got)
+	}
+	if corrected != len(bits)/7 {
+		t.Errorf("corrected %d of %d codewords", corrected, len(bits)/7)
+	}
+}
+
+func TestHammingRoundTripProperty(t *testing.T) {
+	f := func(msg []byte, flipSeed uint16) bool {
+		bits := HammingEncode(msg)
+		rng := xrand.New(uint64(flipSeed))
+		// At most one flip per codeword, randomly applied.
+		for cw := 0; cw*7 < len(bits); cw++ {
+			if rng.Bool() {
+				bits[cw*7+rng.Intn(7)] ^= 1
+			}
+		}
+		got, _ := HammingDecode(bits)
+		return bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingNibbleExhaustive(t *testing.T) {
+	// Every nibble, every single-bit corruption: must decode exactly.
+	for n := byte(0); n < 16; n++ {
+		cw := hammingEncodeNibble(n)
+		if got, c := hammingDecodeNibble(cw); got != n || c {
+			t.Fatalf("clean nibble %x decoded to %x (corrected=%v)", n, got, c)
+		}
+		for bit := uint(0); bit < 7; bit++ {
+			got, c := hammingDecodeNibble(cw ^ 1<<bit)
+			if got != n || !c {
+				t.Fatalf("nibble %x, flipped bit %d: got %x (corrected=%v)", n, bit, got, c)
+			}
+		}
+	}
+}
+
+func TestTransmitReliable(t *testing.T) {
+	m := tinyMachine(81)
+	trojan, tg := discoverOn(t, m, 0, 0, 24, 81)
+	spy, sg := discoverOn(t, m, 1, 0, 24, 82)
+	pairs, err := AlignChannels(trojan, spy,
+		trojan.AllEvictionSets(tg, 4), spy.AllEvictionSets(sg, 4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChannel(trojan, spy, pairs, DefaultCovertConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("FEC over cache contention")
+	got, corrected, raw, err := ch.TransmitReliable(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reliable transmit failed: %q (raw errors %d, corrected %d)",
+			got, raw.BitErrors, corrected)
+	}
+	if raw.BandwidthMBps() <= 0 {
+		t.Error("no bandwidth recorded")
+	}
+}

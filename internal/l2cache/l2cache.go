@@ -1,0 +1,313 @@
+// Package l2cache models the P100's L2 data cache: physically indexed,
+// set-associative, 128 B lines, true LRU (the paper's reverse
+// engineering in Table I finds 2048 sets x 16 ways with LRU-like
+// deterministic replacement).
+//
+// Two behaviours matter for the attacks and are modelled faithfully:
+//
+//   - Physical indexing with an index hash. The attacker does not know
+//     virtual-to-physical placement, so it cannot compute which set an
+//     address lands in; but the line-offset-within-page bits are used
+//     verbatim, so addresses within one page index *consecutive* sets.
+//     The hash only mixes physical frame bits into the index bits above
+//     the page, exactly the structure the paper exploits ("the data
+//     belonging to a page is indexed consecutively in the cache").
+//
+//   - Deterministic LRU. Accessing 16 distinct conflicting lines then a
+//     17th always evicts the oldest, which is what makes eviction-set
+//     discovery (Alg. 1) and the every-16th-access eviction staircase
+//     (Fig. 5) work.
+//
+// The cache is not safe for concurrent use; the simulation engine
+// serializes all accesses machine-wide.
+package l2cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"spybox/internal/arch"
+	"spybox/internal/xrand"
+)
+
+// ReplacementPolicy selects how a victim way is chosen on a miss in a
+// full set.
+type ReplacementPolicy int
+
+const (
+	// LRU evicts the least recently used way (paper-observed policy).
+	LRU ReplacementPolicy = iota
+	// RandomRepl evicts a uniformly random way. Used by the ablation
+	// benches to show the attack degrading under randomized
+	// replacement (a proposed class of defense).
+	RandomRepl
+)
+
+// String names the policy for reports.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case RandomRepl:
+		return "random"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config fixes a cache geometry. The zero Config is invalid; use
+// P100Config for the real geometry or a smaller one in unit tests.
+type Config struct {
+	Sets     int // number of sets, power of two
+	Ways     int // associativity
+	LineSize int // bytes per line, power of two
+	PageSize int // bytes per page (for index hashing), power of two
+	Policy   ReplacementPolicy
+	// HashIndex enables mixing of frame bits into the above-page index
+	// bits. The real hardware hashes; disabling it is an ablation.
+	HashIndex bool
+}
+
+// P100Config returns the geometry of the Tesla P100 L2 as reverse
+// engineered in the paper (Table I).
+func P100Config() Config {
+	return Config{
+		Sets:      arch.L2Sets,
+		Ways:      arch.L2Ways,
+		LineSize:  arch.CacheLineSize,
+		PageSize:  arch.PageSize,
+		Policy:    LRU,
+		HashIndex: true,
+	}
+}
+
+// Validate reports a descriptive error for malformed geometry.
+func (c Config) Validate() error {
+	switch {
+	case c.Sets <= 0 || c.Sets&(c.Sets-1) != 0:
+		return fmt.Errorf("l2cache: Sets must be a positive power of two, got %d", c.Sets)
+	case c.Ways <= 0:
+		return fmt.Errorf("l2cache: Ways must be positive, got %d", c.Ways)
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("l2cache: LineSize must be a positive power of two, got %d", c.LineSize)
+	case c.PageSize < c.LineSize || c.PageSize&(c.PageSize-1) != 0:
+		return fmt.Errorf("l2cache: PageSize must be a power of two >= LineSize, got %d", c.PageSize)
+	}
+	return nil
+}
+
+// SizeBytes returns the cache capacity implied by the geometry.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineSize }
+
+// LinesPerPage returns how many cache lines one page holds.
+func (c Config) LinesPerPage() int { return c.PageSize / c.LineSize }
+
+// way is one cache line slot.
+type way struct {
+	valid bool
+	tag   uint64
+	used  uint64 // global LRU stamp
+}
+
+// SetStats accumulates per-set hit/miss counts. The side channel's
+// memorygram is, in essence, the time series of these counters as seen
+// through the spy's probes.
+type SetStats struct {
+	Hits, Misses uint64
+}
+
+// Cache is one GPU's L2.
+type Cache struct {
+	cfg       Config
+	sets      [][]way
+	stamp     uint64
+	rng       *xrand.Source // used only by RandomRepl
+	stats     []SetStats
+	hits      uint64
+	misses    uint64
+	fills     uint64
+	evictions uint64
+
+	lineShift int
+	setMask   uint64
+	pageLines uint64 // lines per page
+	regions   uint64 // sets / linesPerPage, >=1
+}
+
+// New builds a cache with the given geometry. The rng seeds random
+// replacement only and may be nil when Policy is LRU.
+func New(cfg Config, rng *xrand.Source) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == RandomRepl && rng == nil {
+		return nil, fmt.Errorf("l2cache: random replacement requires an rng")
+	}
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]way, cfg.Sets),
+		rng:       rng,
+		stats:     make([]SetStats, cfg.Sets),
+		lineShift: bits.TrailingZeros64(uint64(cfg.LineSize)),
+		setMask:   uint64(cfg.Sets - 1),
+		pageLines: uint64(cfg.LinesPerPage()),
+	}
+	c.regions = 1
+	if uint64(cfg.Sets) > c.pageLines {
+		c.regions = uint64(cfg.Sets) / c.pageLines
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error, for fixed known-good configs.
+func MustNew(cfg Config, rng *xrand.Source) *Cache {
+	c, err := New(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// mix64 is a fast invertible mixer (Stafford variant 13) used for the
+// index hash. It stands in for the undocumented hardware hash: the
+// attacker must treat set placement of each page as opaque.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SetIndex returns the set the physical address maps to. Within one
+// page the mapping is consecutive; across pages the hash scatters each
+// page into one of the Sets/LinesPerPage aligned page-sized regions.
+func (c *Cache) SetIndex(pa arch.PA) int {
+	line := uint64(pa) >> c.lineShift
+	idx := line & c.setMask
+	if c.cfg.HashIndex && c.regions > 1 {
+		frame := uint64(pa) / uint64(c.cfg.PageSize)
+		region := mix64(frame) % c.regions
+		// Replace the above-page index bits with the hashed region.
+		idx = (idx & (c.pageLines - 1)) | region*c.pageLines
+	}
+	return int(idx)
+}
+
+// tagOf returns the tag stored for a line (everything above the line
+// offset; the set index is not folded out so aliasing is impossible).
+func (c *Cache) tagOf(pa arch.PA) uint64 {
+	return uint64(pa) >> c.lineShift
+}
+
+// Access performs a cached read of the line containing pa: on a hit
+// the LRU stamp refreshes; on a miss the line is filled, evicting per
+// the replacement policy. It returns whether the access hit and which
+// set it touched.
+func (c *Cache) Access(pa arch.PA) (hit bool, set int) {
+	set = c.SetIndex(pa)
+	tag := c.tagOf(pa)
+	c.stamp++
+	ws := c.sets[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			ws[i].used = c.stamp
+			c.hits++
+			c.stats[set].Hits++
+			return true, set
+		}
+	}
+	c.misses++
+	c.stats[set].Misses++
+	c.fillLine(set, tag)
+	return false, set
+}
+
+// Contains reports whether the line holding pa is currently cached,
+// without touching LRU state or counters. Test helper and detector
+// hook; the attacks themselves never use it (they only see timing).
+func (c *Cache) Contains(pa arch.PA) bool {
+	set := c.SetIndex(pa)
+	tag := c.tagOf(pa)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// fillLine inserts the tag into the set, evicting if necessary.
+func (c *Cache) fillLine(set int, tag uint64) {
+	ws := c.sets[set]
+	victim := -1
+	for i := range ws {
+		if !ws[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		c.evictions++
+		switch c.cfg.Policy {
+		case RandomRepl:
+			victim = c.rng.Intn(len(ws))
+		default: // LRU
+			victim = 0
+			for i := 1; i < len(ws); i++ {
+				if ws[i].used < ws[victim].used {
+					victim = i
+				}
+			}
+		}
+	}
+	c.fills++
+	ws[victim] = way{valid: true, tag: tag, used: c.stamp}
+}
+
+// Totals returns machine counters since construction or the last
+// ResetStats.
+func (c *Cache) Totals() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// SetCounters returns a copy of the per-set hit/miss counters.
+func (c *Cache) SetCounters() []SetStats {
+	out := make([]SetStats, len(c.stats))
+	copy(out, c.stats)
+	return out
+}
+
+// ResetStats clears all counters without disturbing cache contents.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.fills, c.evictions = 0, 0, 0, 0
+	for i := range c.stats {
+		c.stats[i] = SetStats{}
+	}
+}
+
+// Flush invalidates the entire cache (used between experiment trials;
+// no user-level flush exists on the real hardware, which is precisely
+// why the attacks use eviction sets instead).
+func (c *Cache) Flush() {
+	for _, ws := range c.sets {
+		for i := range ws {
+			ws[i] = way{}
+		}
+	}
+}
+
+// OccupiedWays returns how many valid lines set holds (test helper).
+func (c *Cache) OccupiedWays(set int) int {
+	n := 0
+	for _, w := range c.sets[set] {
+		if w.valid {
+			n++
+		}
+	}
+	return n
+}

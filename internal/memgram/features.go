@@ -1,0 +1,210 @@
+// Classifier feature extraction. Physical placement shuffles
+// memorygram rows and shifts temporal phase from run to run (the
+// paper notes its memorygrams "can be different in each run"), so the
+// feature vector combines the raw downsampled picture with
+// pose-invariant summaries: the autocorrelation of the activity time
+// series, the sorted row-intensity profile, and duty/activity
+// statistics.
+package memgram
+
+import (
+	"math"
+	"sort"
+)
+
+// Features converts a memorygram to the classifier input vector used
+// by the fingerprinting attack. The output length is fixed for fixed
+// input dimensions, so grams recorded with the same monitor settings
+// are directly comparable.
+func (g *Gram) Features() []float64 {
+	var x []float64
+
+	// Phase-invariant periodicity signature: the dominant component is
+	// the victim's working-set pass period, a per-application constant.
+	cols := g.EpochTotals()
+	maxLag := 32
+	if maxLag > len(cols)-2 {
+		maxLag = len(cols) - 2
+	}
+	ac := Autocorr(cols, maxLag)
+	for len(ac) < 32 {
+		ac = append(ac, 0)
+	}
+	for _, v := range ac {
+		x = append(x, 2*v) // weighted up: the load-bearing features
+	}
+
+	// Placement-invariant row-intensity profile.
+	rows := g.SetTotals()
+	rowProfile := ResampleNorm(rows, 24)
+	sort.Float64s(rowProfile)
+	x = append(x, rowProfile...)
+
+	// Scalar statistics: duty cycle, variability, active/hot rows.
+	norm := ResampleNorm(cols, len(cols))
+	duty, m, v := 0.0, 0.0, 0.0
+	for _, c := range norm {
+		if c > 0.5 {
+			duty++
+		}
+		m += c
+	}
+	m /= float64(len(norm))
+	for _, c := range norm {
+		v += (c - m) * (c - m)
+	}
+	v /= float64(len(norm))
+	activeRows, hotRows := 0.0, 0.0
+	maxRow := 0
+	for _, rv := range rows {
+		if rv > maxRow {
+			maxRow = rv
+		}
+	}
+	for _, rv := range rows {
+		if rv > 0 {
+			activeRows++
+		}
+		if maxRow > 0 && float64(rv) > 0.8*float64(maxRow) {
+			hotRows++
+		}
+	}
+	// Dominant-period features: the lag of the strongest
+	// autocorrelation peak is a direct estimate of the victim's
+	// working-set pass period — the most class-identifying scalar of
+	// all. Encoded as both a normalized lag and one-hot-ish bins so a
+	// linear model can use it.
+	peakLag, peakVal := 0, 0.0
+	for lag := 1; lag < len(ac); lag++ { // skip lag 1 smear? keep from 2
+		if lag >= 2 && ac[lag-1] > peakVal {
+			peakLag, peakVal = lag, ac[lag-1]
+		}
+	}
+	x = append(x, 2*float64(peakLag)/32, 2*peakVal)
+	lagBins := make([]float64, 8)
+	if peakLag > 0 {
+		b := (peakLag - 2) * 8 / 31
+		if b >= 0 && b < 8 {
+			lagBins[b] = 2
+		}
+	}
+	x = append(x, lagBins...)
+
+	// Per-epoch concurrency: how many rows are active within a single
+	// sweep, on average. An app streaming seven arrays in lockstep
+	// (blackscholes) lights several regions at once; a three-array
+	// streamer (vectoradd) fewer; a tiled kernel fewer still. Unlike
+	// the cumulative active-row count, this does not saturate.
+	var perEpochActive float64
+	activeEpochs := 0
+	for _, row := range g.Miss {
+		n := 0
+		for _, v := range row {
+			if v > 0 {
+				n++
+			}
+		}
+		if n > 0 {
+			perEpochActive += float64(n) / float64(len(row))
+			activeEpochs++
+		}
+	}
+	if activeEpochs > 0 {
+		perEpochActive /= float64(activeEpochs)
+	}
+
+	// Hot-row share: fraction of all misses concentrated in the single
+	// hottest row — large for apps with a small always-resident lookup
+	// table (histogram bins, quasirandom direction numbers), and the
+	// ratio differs with how hard that table is hammered.
+	hotShare := 0.0
+	if t := g.Total(); t > 0 {
+		hotShare = float64(maxRow) / float64(t)
+	}
+
+	x = append(x,
+		2*duty/float64(len(norm)),
+		2*m,
+		2*math.Sqrt(v),
+		2*activeRows/float64(len(rows)),
+		2*hotRows/float64(len(rows)),
+		math.Log1p(float64(g.Total()))/10,
+		3*perEpochActive,
+		3*hotShare*float64(len(rows))/32, // scale-free in row count
+	)
+
+	// The raw downsampled picture, low-weighted: the paper classifies
+	// images; here placement scatter makes pixels noisy, so they only
+	// break ties the invariants cannot.
+	for _, v := range g.Image(16, 12) {
+		x = append(x, 0.3*v)
+	}
+	x = append(x, ResampleNorm(cols, 24)...)
+	return x
+}
+
+// Autocorr returns the normalized autocorrelation of the mean-removed
+// series at lags 1..maxLag. It is invariant to phase shifts, which is
+// exactly what varies between runs of the same victim.
+func Autocorr(series []int, maxLag int) []float64 {
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	n := len(series)
+	xs := make([]float64, n)
+	var mean float64
+	for i, v := range series {
+		xs[i] = float64(v)
+		mean += xs[i]
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	var r0 float64
+	for i := range xs {
+		xs[i] -= mean
+		r0 += xs[i] * xs[i]
+	}
+	out := make([]float64, maxLag)
+	if r0 == 0 {
+		return out
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		var r float64
+		for i := 0; i+lag < n; i++ {
+			r += xs[i] * xs[i+lag]
+		}
+		out[lag-1] = r / r0
+	}
+	return out
+}
+
+// ResampleNorm average-pools integer samples into n buckets and
+// normalizes the result to a maximum of 1.
+func ResampleNorm(xs []int, n int) []float64 {
+	out := make([]float64, n)
+	cnt := make([]int, n)
+	if len(xs) == 0 {
+		return out
+	}
+	for i, v := range xs {
+		b := i * n / len(xs)
+		out[b] += float64(v)
+		cnt[b]++
+	}
+	maxV := 0.0
+	for i := range out {
+		if cnt[i] > 0 {
+			out[i] /= float64(cnt[i])
+		}
+		if out[i] > maxV {
+			maxV = out[i]
+		}
+	}
+	if maxV > 0 {
+		for i := range out {
+			out[i] /= maxV
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package memgram
+
+import (
+	"math"
+	"testing"
+
+	"spybox/internal/xrand"
+)
+
+// periodic builds a gram whose epoch activity repeats with the given
+// period.
+func periodic(epochs, sets, period int) *Gram {
+	miss := make([][]int, epochs)
+	for e := range miss {
+		miss[e] = make([]int, sets)
+		if e%period == 0 {
+			for s := range miss[e] {
+				miss[e][s] = 10
+			}
+		}
+	}
+	g, _ := New(miss, "periodic")
+	return g
+}
+
+func TestAutocorrFindsPeriod(t *testing.T) {
+	for _, period := range []int{3, 5, 8} {
+		g := periodic(64, 4, period)
+		ac := Autocorr(g.EpochTotals(), 20)
+		best, bestV := 0, math.Inf(-1)
+		for lag := 2; lag <= 20; lag++ {
+			if ac[lag-1] > bestV {
+				best, bestV = lag, ac[lag-1]
+			}
+		}
+		if best != period {
+			t.Errorf("period %d: autocorr peak at lag %d", period, best)
+		}
+	}
+}
+
+func TestAutocorrEdgeCases(t *testing.T) {
+	if got := Autocorr(nil, 5); len(got) != 5 {
+		t.Errorf("nil series: %v", got)
+	}
+	flat := Autocorr([]int{7, 7, 7, 7}, 3)
+	for _, v := range flat {
+		if v != 0 {
+			t.Errorf("constant series autocorr = %v, want 0", flat)
+		}
+	}
+	if got := Autocorr([]int{1, 2}, -1); len(got) != 0 {
+		t.Errorf("negative maxLag: %v", got)
+	}
+}
+
+func TestAutocorrPhaseInvariance(t *testing.T) {
+	// The same periodic signal shifted in phase must produce nearly
+	// the same autocorrelation — the property the classifier needs.
+	mk := func(phase int) []int {
+		xs := make([]int, 60)
+		for i := range xs {
+			if (i+phase)%6 == 0 {
+				xs[i] = 10
+			}
+		}
+		return xs
+	}
+	a, b := Autocorr(mk(0), 15), Autocorr(mk(3), 15)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 0.15 {
+			t.Errorf("lag %d: autocorr differs across phases: %.2f vs %.2f", i+1, a[i], b[i])
+		}
+	}
+}
+
+func TestResampleNorm(t *testing.T) {
+	out := ResampleNorm([]int{0, 0, 10, 10, 20, 20}, 3)
+	if len(out) != 3 {
+		t.Fatalf("len %d", len(out))
+	}
+	if out[0] != 0 || out[2] != 1 {
+		t.Errorf("resample = %v", out)
+	}
+	if out[1] != 0.5 {
+		t.Errorf("middle bucket %v, want 0.5", out[1])
+	}
+	if got := ResampleNorm(nil, 4); len(got) != 4 {
+		t.Errorf("nil input: %v", got)
+	}
+}
+
+func TestFeaturesFixedLength(t *testing.T) {
+	rng := xrand.New(5)
+	mkRandom := func(epochs, sets int) *Gram {
+		miss := make([][]int, epochs)
+		for e := range miss {
+			miss[e] = make([]int, sets)
+			for s := range miss[e] {
+				miss[e][s] = rng.Intn(17)
+			}
+		}
+		g, _ := New(miss, "")
+		return g
+	}
+	// Same monitor dimensions -> same feature length, regardless of
+	// content; different dimensions also agree because profiles are
+	// resampled to fixed sizes.
+	l1 := len(mkRandom(48, 96).Features())
+	l2 := len(mkRandom(48, 96).Features())
+	l3 := len(mkRandom(96, 256).Features())
+	if l1 != l2 || l1 != l3 {
+		t.Fatalf("feature lengths %d/%d/%d not fixed", l1, l2, l3)
+	}
+	for _, v := range mkRandom(48, 96).Features() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite feature")
+		}
+	}
+}
+
+func TestFeaturesDarkGram(t *testing.T) {
+	miss := make([][]int, 10)
+	for e := range miss {
+		miss[e] = make([]int, 8)
+	}
+	g, _ := New(miss, "dark")
+	for _, v := range g.Features() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("dark gram produced non-finite feature")
+		}
+	}
+}
+
+func TestFeaturesSeparateClasses(t *testing.T) {
+	// A dense continuous gram and a sparse periodic one must land far
+	// apart in feature space — the minimum for classification to work.
+	dense := periodic(64, 8, 1)
+	sparse := periodic(64, 8, 8)
+	fd, fs := dense.Features(), sparse.Features()
+	var dist float64
+	for i := range fd {
+		d := fd[i] - fs[i]
+		dist += d * d
+	}
+	if math.Sqrt(dist) < 0.5 {
+		t.Errorf("dense and sparse grams only %.3f apart", math.Sqrt(dist))
+	}
+}

@@ -1,0 +1,208 @@
+// Package memgram holds the memorygram data structure — the per-set,
+// per-epoch cache-miss picture a Prime+Probe spy records (the paper's
+// Figs. 11, 13-15) — together with the downsampling, rendering, and
+// feature-extraction helpers the fingerprinting classifier and the
+// experiment reports use.
+package memgram
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Gram is one memorygram: Miss[epoch][set] counts misses the spy saw
+// in `set` during probe sweep `epoch`.
+type Gram struct {
+	Miss  [][]int
+	Label string // optional class label (victim application name)
+}
+
+// New builds a Gram from a raw miss matrix; rows must be equal length.
+func New(miss [][]int, label string) (*Gram, error) {
+	if len(miss) == 0 {
+		return nil, fmt.Errorf("memgram: empty matrix")
+	}
+	w := len(miss[0])
+	for i, row := range miss {
+		if len(row) != w {
+			return nil, fmt.Errorf("memgram: ragged row %d (%d vs %d)", i, len(row), w)
+		}
+	}
+	if w == 0 {
+		return nil, fmt.Errorf("memgram: zero sets")
+	}
+	return &Gram{Miss: miss, Label: label}, nil
+}
+
+// Epochs returns the number of probe sweeps (the image's time axis).
+func (g *Gram) Epochs() int { return len(g.Miss) }
+
+// Sets returns the number of monitored sets (the image's y axis).
+func (g *Gram) Sets() int { return len(g.Miss[0]) }
+
+// MaxMiss returns the largest single cell value.
+func (g *Gram) MaxMiss() int {
+	m := 0
+	for _, row := range g.Miss {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// Total returns the sum of all misses.
+func (g *Gram) Total() int {
+	t := 0
+	for _, row := range g.Miss {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// SetTotals sums misses per set (Fig. 13's histogram data).
+func (g *Gram) SetTotals() []int {
+	t := make([]int, g.Sets())
+	for _, row := range g.Miss {
+		for s, v := range row {
+			t[s] += v
+		}
+	}
+	return t
+}
+
+// EpochTotals sums misses per epoch (activity over time).
+func (g *Gram) EpochTotals() []int {
+	t := make([]int, g.Epochs())
+	for e, row := range g.Miss {
+		for _, v := range row {
+			t[e] += v
+		}
+	}
+	return t
+}
+
+// Image downsamples the gram into a w x h float image in [0,1],
+// row-major with h rows (sets) and w columns (epochs), average-pooled
+// and normalized by the gram's own maximum. This fixed-size view is
+// the classifier's input, mirroring the paper's image classifier over
+// memorygram pictures.
+func (g *Gram) Image(w, h int) []float64 {
+	if w <= 0 || h <= 0 {
+		panic("memgram: non-positive image dims")
+	}
+	img := make([]float64, w*h)
+	counts := make([]int, w*h)
+	epochs, sets := g.Epochs(), g.Sets()
+	for e, row := range g.Miss {
+		x := e * w / epochs
+		for s, v := range row {
+			y := s * h / sets
+			img[y*w+x] += float64(v)
+			counts[y*w+x]++
+		}
+	}
+	maxV := 0.0
+	for i := range img {
+		if counts[i] > 0 {
+			img[i] /= float64(counts[i])
+		}
+		if img[i] > maxV {
+			maxV = img[i]
+		}
+	}
+	if maxV > 0 {
+		for i := range img {
+			img[i] /= maxV
+		}
+	}
+	return img
+}
+
+// RenderASCII draws the gram as character art (sets on y, epochs on
+// x), downsampled to at most maxW x maxH cells. Intensity ramp:
+// " .:-=+*#%@".
+func (g *Gram) RenderASCII(maxW, maxH int) string {
+	w, h := g.Epochs(), g.Sets()
+	if w > maxW {
+		w = maxW
+	}
+	if h > maxH {
+		h = maxH
+	}
+	img := g.Image(w, h)
+	ramp := " .:-=+*#%@"
+	var b strings.Builder
+	if g.Label != "" {
+		fmt.Fprintf(&b, "memorygram %q  (%d sets x %d epochs, %d misses)\n",
+			g.Label, g.Sets(), g.Epochs(), g.Total())
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := img[y*w+x]
+			idx := int(v * float64(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WritePGM writes the gram as a binary PGM (P5) image, sets as rows,
+// epochs as columns, for viewing with any image tool.
+func (g *Gram) WritePGM(w io.Writer) error {
+	epochs, sets := g.Epochs(), g.Sets()
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", epochs, sets); err != nil {
+		return err
+	}
+	maxV := g.MaxMiss()
+	if maxV == 0 {
+		maxV = 1
+	}
+	row := make([]byte, epochs)
+	for s := 0; s < sets; s++ {
+		for e := 0; e < epochs; e++ {
+			row[e] = byte(g.Miss[e][s] * 255 / maxV)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ActiveBursts counts runs of consecutive "active" epochs separated
+// by quiet gaps, where an epoch is active if its total misses exceed
+// frac of the maximum epoch total. This is how the Fig. 15 experiment
+// counts training epochs from the memorygram.
+func (g *Gram) ActiveBursts(frac float64, minGap int) int {
+	totals := g.EpochTotals()
+	maxT := 0
+	for _, v := range totals {
+		if v > maxT {
+			maxT = v
+		}
+	}
+	if maxT == 0 {
+		return 0
+	}
+	thresh := frac * float64(maxT)
+	bursts := 0
+	quiet := minGap // so a burst at epoch 0 counts
+	for _, v := range totals {
+		if float64(v) >= thresh {
+			if quiet >= minGap {
+				bursts++
+			}
+			quiet = 0
+		} else {
+			quiet++
+		}
+	}
+	return bursts
+}

@@ -1,0 +1,190 @@
+package memgram
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spybox/internal/xrand"
+)
+
+func sample() *Gram {
+	g, err := New([][]int{
+		{0, 5, 0, 1},
+		{2, 0, 0, 1},
+		{0, 8, 0, 1},
+	}, "test")
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, ""); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := New([][]int{{1, 2}, {1}}, ""); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := New([][]int{{}}, ""); err == nil {
+		t.Error("zero sets accepted")
+	}
+}
+
+func TestDimensionsAndTotals(t *testing.T) {
+	g := sample()
+	if g.Epochs() != 3 || g.Sets() != 4 {
+		t.Errorf("dims %dx%d", g.Epochs(), g.Sets())
+	}
+	if g.Total() != 18 {
+		t.Errorf("Total = %d", g.Total())
+	}
+	if g.MaxMiss() != 8 {
+		t.Errorf("MaxMiss = %d", g.MaxMiss())
+	}
+	wantSet := []int{2, 13, 0, 3}
+	for i, v := range g.SetTotals() {
+		if v != wantSet[i] {
+			t.Errorf("SetTotals[%d] = %d, want %d", i, v, wantSet[i])
+		}
+	}
+	wantEpoch := []int{6, 3, 9}
+	for i, v := range g.EpochTotals() {
+		if v != wantEpoch[i] {
+			t.Errorf("EpochTotals[%d] = %d, want %d", i, v, wantEpoch[i])
+		}
+	}
+}
+
+func TestImageNormalization(t *testing.T) {
+	g := sample()
+	img := g.Image(3, 4)
+	if len(img) != 12 {
+		t.Fatalf("image length %d", len(img))
+	}
+	maxV := 0.0
+	for _, v := range img {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of [0,1]", v)
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV != 1 {
+		t.Errorf("max pixel %v, want 1 after normalization", maxV)
+	}
+}
+
+func TestImageDownsamples(t *testing.T) {
+	// A 100x50 gram downsampled to 10x5 must preserve a hot corner.
+	miss := make([][]int, 100)
+	for e := range miss {
+		miss[e] = make([]int, 50)
+	}
+	miss[0][0] = 100
+	g, _ := New(miss, "")
+	img := g.Image(10, 5)
+	if img[0] != 1 {
+		t.Errorf("hot corner lost: %v", img[0])
+	}
+}
+
+func TestImagePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero dims")
+		}
+	}()
+	sample().Image(0, 4)
+}
+
+func TestRenderASCII(t *testing.T) {
+	out := sample().RenderASCII(10, 10)
+	if !strings.Contains(out, "test") {
+		t.Error("label missing from render")
+	}
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) < 4 {
+		t.Errorf("render too short:\n%s", out)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n3 4\n255\n")) {
+		t.Errorf("bad PGM header: %q", out[:20])
+	}
+	if len(out) != len("P5\n3 4\n255\n")+12 {
+		t.Errorf("PGM payload size %d", len(out))
+	}
+}
+
+func TestWritePGMAllZero(t *testing.T) {
+	g, _ := New([][]int{{0, 0}}, "")
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		t.Fatal(err) // must not divide by zero
+	}
+}
+
+func TestActiveBursts(t *testing.T) {
+	mk := func(totals []int) *Gram {
+		miss := make([][]int, len(totals))
+		for i, v := range totals {
+			miss[i] = []int{v}
+		}
+		g, _ := New(miss, "")
+		return g
+	}
+	cases := []struct {
+		totals []int
+		want   int
+	}{
+		{[]int{10, 10, 0, 0, 10, 10}, 2},
+		{[]int{10, 10, 10}, 1},
+		{[]int{0, 0, 0}, 0},
+		{[]int{10, 0, 10}, 1},              // gap of 1 < minGap 2
+		{[]int{10, 0, 0, 10, 0, 0, 10}, 3}, // three bursts
+	}
+	for _, c := range cases {
+		if got := mk(c.totals).ActiveBursts(0.5, 2); got != c.want {
+			t.Errorf("ActiveBursts(%v) = %d, want %d", c.totals, got, c.want)
+		}
+	}
+}
+
+// Property: Total equals the sum of SetTotals and of EpochTotals.
+func TestTotalConsistencyProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := xrand.New(uint64(seed))
+		epochs, sets := rng.Intn(20)+1, rng.Intn(20)+1
+		miss := make([][]int, epochs)
+		for e := range miss {
+			miss[e] = make([]int, sets)
+			for s := range miss[e] {
+				miss[e][s] = rng.Intn(17)
+			}
+		}
+		g, err := New(miss, "")
+		if err != nil {
+			return false
+		}
+		sumSet, sumEpoch := 0, 0
+		for _, v := range g.SetTotals() {
+			sumSet += v
+		}
+		for _, v := range g.EpochTotals() {
+			sumEpoch += v
+		}
+		return sumSet == g.Total() && sumEpoch == g.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

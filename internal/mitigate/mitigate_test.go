@@ -1,0 +1,155 @@
+package mitigate
+
+import (
+	"testing"
+
+	"spybox/internal/arch"
+	"spybox/internal/cudart"
+	"spybox/internal/sim"
+)
+
+func TestOccupyBlocksNoise(t *testing.T) {
+	m := sim.MustNewMachine(sim.Options{Seed: 1, NoiseOff: true})
+	stop := false
+	b, err := Occupy(m, 0, 10, func() bool { return stop })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 32 KB blocks per SM saturate the 64 KB shared memory.
+	if b.Placed != 2*arch.NumSMs {
+		t.Errorf("placed %d blockers, want %d", b.Placed, 2*arch.NumSMs)
+	}
+	noise, err := NewNoise(m, 0, 11, 16, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, err := noise.Launch(&stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != 0 {
+		t.Errorf("%d noise blocks placed on a blocked GPU", placed)
+	}
+	stop = true
+	m.Run()
+}
+
+func TestOccupyValidation(t *testing.T) {
+	m := sim.MustNewMachine(sim.Options{Seed: 2, NoiseOff: true})
+	if _, err := Occupy(m, 0, 1, nil); err == nil {
+		t.Error("nil stop accepted")
+	}
+}
+
+func TestNoiseRunsWithoutBlocking(t *testing.T) {
+	m := sim.MustNewMachine(sim.Options{Seed: 3, NoiseOff: true})
+	noise, err := NewNoise(m, 0, 4, 8, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := false
+	placed, err := noise.Launch(&stop)
+	if err != nil || placed != 8 {
+		t.Fatalf("placed %d of 8 (%v)", placed, err)
+	}
+	// Let the noise run briefly, then stop it via a peer kernel.
+	p := cudart.MustNewProcess(m, 0, 5)
+	p.Launch("stopper", 0, func(k *cudart.Kernel) {
+		k.Busy(50000)
+		stop = true
+	})
+	m.Run()
+	h, miss, _ := m.Device(0).L2().Totals()
+	if h+miss == 0 {
+		t.Error("noise generated no cache traffic")
+	}
+}
+
+func TestNoiseValidation(t *testing.T) {
+	m := sim.MustNewMachine(sim.Options{Seed: 4, NoiseOff: true})
+	if _, err := NewNoise(m, 0, 0, 0, 0); err == nil {
+		t.Error("zero blocks accepted")
+	}
+}
+
+func TestDetectorWindows(t *testing.T) {
+	m := sim.MustNewMachine(sim.Options{Seed: 5, NoiseOff: true})
+	if err := m.EnablePeer(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(m.Topology())
+	// Quiet window.
+	obs := det.Sample()
+	if obs.TotalTxns != 0 {
+		t.Errorf("quiet window has %d txns", obs.TotalTxns)
+	}
+	// Remote traffic window.
+	p := cudart.MustNewProcess(m, 1, 6)
+	p.EnablePeerAccess(0)
+	buf, _ := p.MallocOnDevice(0, 64*1024)
+	p.Launch("remote", 0, func(k *cudart.Kernel) {
+		k.Stream(buf, 512, arch.CacheLineSize)
+	})
+	m.Run()
+	obs = det.Sample()
+	if obs.MaxLinkTxns != 512 {
+		t.Errorf("busiest link saw %d txns, want 512", obs.MaxLinkTxns)
+	}
+	if obs.MaxLink != [2]arch.DeviceID{0, 1} {
+		t.Errorf("busiest link %v, want 0-1", obs.MaxLink)
+	}
+	// Counters were consumed: next window is quiet again.
+	if obs := det.Sample(); obs.TotalTxns != 0 {
+		t.Errorf("window not reset: %d", obs.TotalTxns)
+	}
+}
+
+func TestRateAndDetect(t *testing.T) {
+	if got := RatePerMCycle(500, 1_000_000); got != 500 {
+		t.Errorf("rate = %v", got)
+	}
+	if RatePerMCycle(500, 0) != 0 {
+		t.Error("zero window should give zero rate")
+	}
+	obs := Observation{MaxLinkTxns: 10_000}
+	if !Detect(obs, 1_000_000, 400) {
+		t.Error("high rate not detected")
+	}
+	if Detect(Observation{MaxLinkTxns: 10}, 1_000_000, 400) {
+		t.Error("low rate detected")
+	}
+}
+
+func TestSamplerMedianVsPeak(t *testing.T) {
+	m := sim.MustNewMachine(sim.Options{Seed: 7, NoiseOff: true})
+	s := NewSampler(m.Topology(), 100_000)
+	if s.MedianMaxLinkRate() != 0 || s.PeakMaxLinkRate() != 0 {
+		t.Error("empty sampler should report zero rates")
+	}
+	// A one-shot remote burst while the sampler watches several
+	// windows: peak high, median low.
+	burstDone := false
+	if err := s.Launch(m, 7, 8, func() bool { return burstDone }); err != nil {
+		t.Fatal(err)
+	}
+	p := cudart.MustNewProcess(m, 1, 9)
+	p.EnablePeerAccess(0)
+	buf, _ := p.MallocOnDevice(0, 256*1024)
+	p.Launch("burst", 0, func(k *cudart.Kernel) {
+		k.Stream(buf, 2048, arch.CacheLineSize) // the burst
+		k.BusyHeavy(20_000)                     // then long quiet
+		k.Yield()                               // surface the elapsed time before flagging
+		burstDone = true
+	})
+	m.Run()
+	if len(s.Windows()) < 3 {
+		t.Fatalf("only %d windows", len(s.Windows()))
+	}
+	if s.PeakMaxLinkRate() <= s.MedianMaxLinkRate() {
+		t.Errorf("burst: peak %.0f should exceed median %.0f",
+			s.PeakMaxLinkRate(), s.MedianMaxLinkRate())
+	}
+	if s.MedianMaxLinkRate() > 1000 {
+		t.Errorf("median %.0f too high for a one-shot burst", s.MedianMaxLinkRate())
+	}
+}

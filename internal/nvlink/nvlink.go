@@ -1,0 +1,147 @@
+// Package nvlink models the DGX-1's NVLink fabric: the hybrid
+// cube-mesh topology connecting the eight P100s, per-link latency and
+// traffic counters, and the peer-visibility rule the paper observes
+// ("NVidia runtime API throws error if the GPUs are not connected via
+// NVLink") — on NVLink-V1/CUDA 10, peer access requires a *direct*
+// link.
+//
+// The Sec. VII defense study consumes the per-link traffic counters:
+// a covert channel shows up as a sustained fine-grained remote-access
+// stream on one link.
+package nvlink
+
+import (
+	"fmt"
+
+	"spybox/internal/arch"
+)
+
+// Link is one bidirectional NVLink connection between two GPUs.
+type Link struct {
+	A, B arch.DeviceID
+
+	// Traffic accounting, split by direction (A->B and B->A) and by
+	// request/response role is overkill for the attacks; total
+	// transactions and bytes suffice for the detector.
+	Transactions uint64
+	Bytes        uint64
+}
+
+// Topology is the static link graph of the box plus its counters.
+type Topology struct {
+	links   []*Link
+	adj     [arch.NumGPUs][arch.NumGPUs]*Link
+	numGPUs int
+}
+
+// DGX1 returns the NVLink-V1 hybrid cube-mesh of the Pascal DGX-1:
+// GPUs {0,1,2,3} and {4,5,6,7} each form a fully connected quad, and
+// the quads are joined by the four cube edges 0-4, 1-5, 2-6, 3-7.
+// Each GPU has exactly four links, matching the P100.
+func DGX1() *Topology {
+	pairs := [][2]arch.DeviceID{
+		// quad 0
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		// quad 1
+		{4, 5}, {4, 6}, {4, 7}, {5, 6}, {5, 7}, {6, 7},
+		// cube edges
+		{0, 4}, {1, 5}, {2, 6}, {3, 7},
+	}
+	t := &Topology{numGPUs: arch.NumGPUs}
+	for _, p := range pairs {
+		t.addLink(p[0], p[1])
+	}
+	return t
+}
+
+// NewCustom builds a topology over n GPUs with the given undirected
+// links. Used by tests and by what-if experiments with other boxes.
+func NewCustom(n int, pairs [][2]arch.DeviceID) (*Topology, error) {
+	if n <= 0 || n > arch.NumGPUs {
+		return nil, fmt.Errorf("nvlink: unsupported GPU count %d", n)
+	}
+	t := &Topology{numGPUs: n}
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		if int(a) >= n || int(b) >= n || a < 0 || b < 0 || a == b {
+			return nil, fmt.Errorf("nvlink: bad link %v-%v", a, b)
+		}
+		if t.adj[a][b] != nil {
+			return nil, fmt.Errorf("nvlink: duplicate link %v-%v", a, b)
+		}
+		t.addLink(a, b)
+	}
+	return t, nil
+}
+
+func (t *Topology) addLink(a, b arch.DeviceID) {
+	l := &Link{A: a, B: b}
+	t.links = append(t.links, l)
+	t.adj[a][b] = l
+	t.adj[b][a] = l
+}
+
+// NumGPUs returns the number of GPUs in the topology.
+func (t *Topology) NumGPUs() int { return t.numGPUs }
+
+// Connected reports whether a and b share a direct NVLink.
+func (t *Topology) Connected(a, b arch.DeviceID) bool {
+	if a == b || !a.Valid() || !b.Valid() || int(a) >= t.numGPUs || int(b) >= t.numGPUs {
+		return false
+	}
+	return t.adj[a][b] != nil
+}
+
+// LinkBetween returns the direct link between a and b, or nil.
+func (t *Topology) LinkBetween(a, b arch.DeviceID) *Link {
+	if !t.Connected(a, b) {
+		return nil
+	}
+	return t.adj[a][b]
+}
+
+// Peers returns the GPUs directly linked to dev, in ascending order.
+func (t *Topology) Peers(dev arch.DeviceID) []arch.DeviceID {
+	var out []arch.DeviceID
+	for i := 0; i < t.numGPUs; i++ {
+		if t.adj[dev][i] != nil {
+			out = append(out, arch.DeviceID(i))
+		}
+	}
+	return out
+}
+
+// Links returns all links (shared slice; callers must not mutate
+// beyond the counter fields).
+func (t *Topology) Links() []*Link { return t.links }
+
+// Traverse charges one remote transaction of the given payload bytes
+// to the direct link between src and dst and returns the round-trip
+// latency contribution. It returns an error if no direct link exists;
+// the runtime surfaces this exactly like the CUDA peer-access error
+// the paper mentions.
+func (t *Topology) Traverse(src, dst arch.DeviceID, payload int) (arch.Cycles, error) {
+	l := t.LinkBetween(src, dst)
+	if l == nil {
+		return 0, fmt.Errorf("nvlink: %v and %v are not connected by NVLink", src, dst)
+	}
+	l.Transactions++
+	l.Bytes += uint64(payload)
+	return arch.LatNVLinkHop, nil
+}
+
+// ResetStats zeroes every link's traffic counters.
+func (t *Topology) ResetStats() {
+	for _, l := range t.links {
+		l.Transactions, l.Bytes = 0, 0
+	}
+}
+
+// TotalTransactions sums transactions over all links.
+func (t *Topology) TotalTransactions() uint64 {
+	var n uint64
+	for _, l := range t.links {
+		n += l.Transactions
+	}
+	return n
+}

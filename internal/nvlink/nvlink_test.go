@@ -1,0 +1,116 @@
+package nvlink
+
+import (
+	"testing"
+
+	"spybox/internal/arch"
+)
+
+func TestDGX1Shape(t *testing.T) {
+	topo := DGX1()
+	if topo.NumGPUs() != 8 {
+		t.Fatalf("NumGPUs = %d", topo.NumGPUs())
+	}
+	if got := len(topo.Links()); got != 16 {
+		t.Fatalf("link count = %d, want 16", got)
+	}
+	// Every P100 has exactly 4 NVLinks.
+	for d := arch.DeviceID(0); d < 8; d++ {
+		if got := len(topo.Peers(d)); got != 4 {
+			t.Errorf("%v has %d links, want 4", d, got)
+		}
+	}
+}
+
+func TestDGX1QuadAndCubeEdges(t *testing.T) {
+	topo := DGX1()
+	// Intra-quad: fully connected.
+	for a := arch.DeviceID(0); a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			if !topo.Connected(a, b) {
+				t.Errorf("quad-0 pair %v-%v not connected", a, b)
+			}
+			if !topo.Connected(a+4, b+4) {
+				t.Errorf("quad-1 pair %v-%v not connected", a+4, b+4)
+			}
+		}
+	}
+	// Cube edges i <-> i+4 only.
+	for i := arch.DeviceID(0); i < 4; i++ {
+		if !topo.Connected(i, i+4) {
+			t.Errorf("cube edge %v-%v missing", i, i+4)
+		}
+	}
+	// Cross pairs like 0-5 are NOT directly connected: this is what
+	// forces the paper's single-hop peer-access constraint.
+	for _, pair := range [][2]arch.DeviceID{{0, 5}, {0, 6}, {0, 7}, {1, 4}, {2, 7}, {3, 6}} {
+		if topo.Connected(pair[0], pair[1]) {
+			t.Errorf("%v-%v should not be directly linked", pair[0], pair[1])
+		}
+	}
+}
+
+func TestConnectedEdgeCases(t *testing.T) {
+	topo := DGX1()
+	if topo.Connected(0, 0) {
+		t.Error("device connected to itself")
+	}
+	if topo.Connected(-1, 0) || topo.Connected(0, 99) {
+		t.Error("out-of-range devices reported connected")
+	}
+}
+
+func TestTraverse(t *testing.T) {
+	topo := DGX1()
+	lat, err := topo.Traverse(0, 1, arch.CacheLineSize)
+	if err != nil {
+		t.Fatalf("Traverse(0,1): %v", err)
+	}
+	if lat != arch.LatNVLinkHop {
+		t.Errorf("hop latency = %v, want %v", lat, arch.LatNVLinkHop)
+	}
+	l := topo.LinkBetween(0, 1)
+	if l.Transactions != 1 || l.Bytes != arch.CacheLineSize {
+		t.Errorf("link counters = (%d,%d)", l.Transactions, l.Bytes)
+	}
+	// Non-connected pair errors, like the CUDA runtime.
+	if _, err := topo.Traverse(0, 5, 128); err == nil {
+		t.Fatal("Traverse(0,5) should fail: not directly linked")
+	}
+}
+
+func TestResetStatsAndTotals(t *testing.T) {
+	topo := DGX1()
+	for i := 0; i < 5; i++ {
+		topo.Traverse(2, 3, 128)
+	}
+	if got := topo.TotalTransactions(); got != 5 {
+		t.Errorf("TotalTransactions = %d", got)
+	}
+	topo.ResetStats()
+	if got := topo.TotalTransactions(); got != 0 {
+		t.Errorf("after reset, TotalTransactions = %d", got)
+	}
+}
+
+func TestNewCustomValidation(t *testing.T) {
+	if _, err := NewCustom(0, nil); err == nil {
+		t.Error("0 GPUs should fail")
+	}
+	if _, err := NewCustom(2, [][2]arch.DeviceID{{0, 0}}); err == nil {
+		t.Error("self-link should fail")
+	}
+	if _, err := NewCustom(2, [][2]arch.DeviceID{{0, 3}}); err == nil {
+		t.Error("out-of-range link should fail")
+	}
+	if _, err := NewCustom(3, [][2]arch.DeviceID{{0, 1}, {0, 1}}); err == nil {
+		t.Error("duplicate link should fail")
+	}
+	topo, err := NewCustom(2, [][2]arch.DeviceID{{0, 1}})
+	if err != nil {
+		t.Fatalf("valid custom topology failed: %v", err)
+	}
+	if !topo.Connected(0, 1) || !topo.Connected(1, 0) {
+		t.Error("custom link not symmetric")
+	}
+}

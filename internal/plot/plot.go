@@ -1,0 +1,129 @@
+// Package plot renders experiment results as ASCII charts and CSV,
+// so every paper figure has a terminal-viewable and a
+// machine-readable form.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Line draws one or more series as an ASCII scatter/line chart of the
+// given size. Each series uses its own glyph.
+func Line(series []Series, width, height int, xLabel, yLabel string) string {
+	glyphs := "*o+x#@"
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[r][c] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (y: %.4g..%.4g)\n", yLabel, minY, maxY)
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+-" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "  %s (x: %.4g..%.4g)", xLabel, minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  [%c]=%s", glyphs[si%len(glyphs)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Bars draws a labelled horizontal bar chart.
+func Bars(labels []string, values []float64, width int) string {
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		bar := 0
+		if maxV > 0 {
+			bar = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s | %-*s %.4g\n", maxL, labels[i], width, strings.Repeat("#", bar), v)
+	}
+	return b.String()
+}
+
+// CSV writes series as columns: x, then one y column per series
+// (series are assumed to share X; shorter series pad with blanks).
+func CSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	header := []string{"x"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(series)+1)
+		if i < len(series[0].X) {
+			row = append(row, fmt.Sprintf("%g", series[0].X[i]))
+		} else {
+			row = append(row, "")
+		}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

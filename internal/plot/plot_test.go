@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLineRendersAllSeries(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+	}
+	out := Line(s, 30, 8, "x", "y")
+	if !strings.Contains(out, "[*]=a") || !strings.Contains(out, "[o]=b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("glyphs missing")
+	}
+}
+
+func TestLineEmpty(t *testing.T) {
+	if got := Line(nil, 10, 5, "x", "y"); got != "(no data)\n" {
+		t.Errorf("empty plot = %q", got)
+	}
+}
+
+func TestLineDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	s := []Series{{Name: "c", X: []float64{1, 1}, Y: []float64{5, 5}}}
+	out := Line(s, 10, 4, "x", "y")
+	if out == "" {
+		t.Error("no output for constant series")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"one", "two"}, []float64{1, 2}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bar lines %d", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Error("max bar not full width")
+	}
+	if strings.Count(lines[0], "#") != 10 {
+		t.Errorf("half bar wrong: %q", lines[0])
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars([]string{"z"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Error("zero value drew a bar")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	s := []Series{
+		{Name: "bw", X: []float64{1, 2}, Y: []float64{0.5, 1.5}},
+		{Name: "err", X: []float64{1, 2}, Y: []float64{0.1, 0.2}},
+	}
+	if err := CSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,bw,err\n1,0.5,0.1\n2,1.5,0.2\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestCSVEmptyAndRagged(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSV(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Error("empty CSV should write nothing")
+	}
+	s := []Series{
+		{Name: "long", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+		{Name: "short", X: []float64{1}, Y: []float64{9}},
+	}
+	buf.Reset()
+	if err := CSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("ragged CSV rows = %d, want 4", len(lines))
+	}
+}

@@ -1,0 +1,142 @@
+// Package sim contains the conservative discrete-event engine that
+// executes simulated GPU kernels and the Machine that ties devices,
+// interconnect, and physical memory together.
+//
+// Kernels are ordinary Go functions running in goroutines. Every
+// shared-hardware interaction (an L2/HBM access, a warp-parallel
+// probe, a streaming touch) is one *event*: the worker parks, the
+// engine waits until every live worker is parked, services the parked
+// worker with the smallest local clock (ties broken by worker ID), and
+// resumes it. Because exactly one worker executes between parks, the
+// simulation is fully serialized and deterministic: identical seeds
+// give identical cycle-for-cycle runs, including all timing jitter.
+//
+// This mirrors how the attacks see the machine: each thread block has
+// its own clock() domain, while the L2s, HBM and NVLink are globally
+// shared and ordered.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// worker states.
+const (
+	stateRunning = iota
+	stateParked
+	stateDone
+)
+
+// engine serializes workers by simulated time.
+type engine struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers map[int]*Worker
+	running int // workers currently executing user code
+	nextID  int
+	eventNo uint64
+}
+
+func newEngine() *engine {
+	e := &engine{workers: make(map[int]*Worker)}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// register adds a worker in the running state and starts its body.
+func (e *engine) register(w *Worker, body func(*Worker)) {
+	e.mu.Lock()
+	w.id = e.nextID
+	e.nextID++
+	w.state = stateRunning
+	e.workers[w.id] = w
+	e.running++
+	e.mu.Unlock()
+
+	go func() {
+		defer func() {
+			e.mu.Lock()
+			w.state = stateDone
+			delete(e.workers, w.id)
+			e.running--
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		}()
+		// A freshly registered worker must not touch shared state
+		// before the engine schedules it: park once at clock 0 (or at
+		// its launch clock) with a no-op request.
+		w.yield(nil)
+		body(w)
+	}()
+}
+
+// yield parks the worker with a pending request and blocks until the
+// engine has serviced it.
+func (w *Worker) yield(req *request) {
+	e := w.eng
+	e.mu.Lock()
+	w.pending = req
+	w.state = stateParked
+	e.running--
+	e.cond.Broadcast()
+	for w.state == stateParked {
+		w.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// runAll drives the engine until no workers remain. It must be called
+// from the host goroutine after workers are registered.
+func (e *engine) runAll(service func(*Worker, *request)) {
+	e.mu.Lock()
+	for {
+		// Wait until every live worker is parked.
+		for e.running > 0 {
+			e.cond.Wait()
+		}
+		if len(e.workers) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		w := e.pickMinClockLocked()
+		req := w.pending
+		w.pending = nil
+		e.eventNo++
+		// Service while holding the engine lock: exactly one worker
+		// mutates shared hardware state at a time, in clock order.
+		if req != nil {
+			service(w, req)
+		}
+		w.state = stateRunning
+		e.running++
+		w.cond.Signal()
+		// Wait for this worker to park again (or finish) before
+		// considering the next event, preserving total order.
+	}
+}
+
+// pickMinClockLocked selects the parked worker with the smallest
+// (clock, id) pair. The engine lock must be held.
+func (e *engine) pickMinClockLocked() *Worker {
+	ids := make([]int, 0, len(e.workers))
+	for id := range e.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var best *Worker
+	for _, id := range ids {
+		w := e.workers[id]
+		if w.state != stateParked {
+			continue
+		}
+		if best == nil || w.clock < best.clock {
+			best = w
+		}
+	}
+	if best == nil {
+		panic(fmt.Sprintf("sim: scheduler invariant violated: %d workers, none parked", len(e.workers)))
+	}
+	return best
+}

@@ -1,0 +1,480 @@
+// Machine assembly and the memory-event service path: this file is
+// where the NUMA caching behaviour the paper reverse engineers
+// actually lives (home-GPU L2 caching, NVLink traversal, contention-
+// dependent jitter).
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"spybox/internal/arch"
+	"spybox/internal/gpu"
+	"spybox/internal/l2cache"
+	"spybox/internal/nvlink"
+	"spybox/internal/vmem"
+	"spybox/internal/xrand"
+)
+
+// Options configure machine construction.
+type Options struct {
+	Seed     uint64
+	CacheCfg l2cache.Config
+	Topology *nvlink.Topology
+	// NoiseOff disables all timing jitter; useful in unit tests that
+	// assert exact latencies.
+	NoiseOff bool
+	// ContentionSigmaPer overrides arch.ContentionSigmaPer when > 0.
+	ContentionSigmaPer float64
+	// MIGPartitions, when > 1, enables a MIG-style isolation defense
+	// (Sec. VII): the cache index hash is disabled and every process
+	// is confined to the frames of one of N disjoint cache-set
+	// partitions (process ID modulo N). Two tenants in different
+	// partitions can then never contend in the L2, which is exactly
+	// the property the paper says defeats these attacks — and which
+	// the mig defense experiment demonstrates.
+	MIGPartitions int
+}
+
+// Machine is the whole simulated DGX-1 box.
+type Machine struct {
+	devices []*gpu.Device
+	topo    *nvlink.Topology
+	phys    *vmem.PhysMem
+
+	eng    *engine
+	jitter *xrand.Source
+	root   *xrand.Source
+
+	noiseOff      bool
+	contSigmaPer  float64
+	migPartitions int
+
+	// peerEnabled[src][dst]: src may access memory homed on dst.
+	peerEnabled [arch.NumGPUs][arch.NumGPUs]bool
+
+	// Recent-accessor tracking per device for the contention noise
+	// term: lastTouch[dev][workerID] = engine event number.
+	lastTouch [arch.NumGPUs]map[int]uint64
+
+	runMu sync.Mutex
+}
+
+// contentionWindow is how many engine events back a worker still
+// counts as "concurrently active" on an L2.
+const contentionWindow = 96
+
+// NewMachine builds a DGX-1-shaped machine. Zero-value fields of opts
+// get paper defaults (P100 cache geometry, DGX-1 topology).
+func NewMachine(opts Options) (*Machine, error) {
+	if opts.CacheCfg == (l2cache.Config{}) {
+		opts.CacheCfg = l2cache.P100Config()
+	}
+	if opts.Topology == nil {
+		opts.Topology = nvlink.DGX1()
+	}
+	if opts.MIGPartitions > 1 {
+		// Partitioned instances address dedicated L2 banks directly;
+		// the hash would smear partitions across each other.
+		opts.CacheCfg.HashIndex = false
+	}
+	root := xrand.New(opts.Seed ^ 0x5b7a1e4c90d3f821)
+	m := &Machine{
+		topo:          opts.Topology,
+		phys:          vmem.NewPhysMem(),
+		eng:           newEngine(),
+		root:          root,
+		jitter:        root.Split(),
+		noiseOff:      opts.NoiseOff,
+		contSigmaPer:  arch.ContentionSigmaPer,
+		migPartitions: opts.MIGPartitions,
+	}
+	if opts.ContentionSigmaPer > 0 {
+		m.contSigmaPer = opts.ContentionSigmaPer
+	}
+	n := opts.Topology.NumGPUs()
+	for i := 0; i < n; i++ {
+		d, err := gpu.New(arch.DeviceID(i), opts.CacheCfg, root.Split())
+		if err != nil {
+			return nil, err
+		}
+		m.devices = append(m.devices, d)
+		m.lastTouch[i] = make(map[int]uint64)
+	}
+	return m, nil
+}
+
+// MustNewMachine panics on construction error (fixed configs).
+func MustNewMachine(opts Options) *Machine {
+	m, err := NewMachine(opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Device returns GPU dev.
+func (m *Machine) Device(dev arch.DeviceID) *gpu.Device { return m.devices[dev] }
+
+// NumGPUs returns the number of GPUs in the box.
+func (m *Machine) NumGPUs() int { return len(m.devices) }
+
+// Topology returns the NVLink fabric.
+func (m *Machine) Topology() *nvlink.Topology { return m.topo }
+
+// Phys returns machine physical memory.
+func (m *Machine) Phys() *vmem.PhysMem { return m.phys }
+
+// Root returns the machine's root RNG; Split it for per-component
+// streams rather than drawing from it directly.
+func (m *Machine) Root() *xrand.Source { return m.root }
+
+// EnablePeer lets GPU src read memory homed on dst. Mirrors
+// cudaDeviceEnablePeerAccess: it fails unless a direct NVLink
+// connects the two, the behaviour the paper reports.
+func (m *Machine) EnablePeer(src, dst arch.DeviceID) error {
+	if src == dst {
+		return nil
+	}
+	if !m.topo.Connected(src, dst) {
+		return fmt.Errorf("sim: peer access %v->%v unavailable: %v and %v are not connected via NVLink",
+			src, dst, src, dst)
+	}
+	m.peerEnabled[src][dst] = true
+	return nil
+}
+
+// PeerEnabled reports whether src may access memory homed on dst.
+func (m *Machine) PeerEnabled(src, dst arch.DeviceID) bool {
+	return src == dst || m.peerEnabled[src][dst]
+}
+
+// FrameFilter returns the frame placement policy for a process under
+// the machine's isolation configuration, or nil when placement is
+// unrestricted. Under MIG-style partitioning, process pid may only
+// receive frames whose cache region belongs to partition pid mod N,
+// so tenants of different partitions can never share a cache set.
+func (m *Machine) FrameFilter(pid arch.ProcessID) func(uint64) bool {
+	if m.migPartitions <= 1 {
+		return nil
+	}
+	cfg := m.devices[0].L2().Config()
+	regions := cfg.Sets / cfg.LinesPerPage()
+	if regions < m.migPartitions {
+		regions = m.migPartitions
+	}
+	part := int(pid) % m.migPartitions
+	perPart := regions / m.migPartitions
+	lo, hi := part*perPart, (part+1)*perPart
+	return func(frame uint64) bool {
+		r := int(frame % uint64(regions))
+		return r >= lo && r < hi
+	}
+}
+
+// MIGPartitions reports the configured partition count (0 or 1 means
+// partitioning is off).
+func (m *Machine) MIGPartitions() int { return m.migPartitions }
+
+// opKind distinguishes event request types.
+type opKind int
+
+const (
+	opLoad opKind = iota
+	opProbe
+	opStream
+	opYield
+)
+
+// request is one shared-hardware event.
+type request struct {
+	kind opKind
+
+	// opLoad
+	pa       arch.PA
+	loadData bool
+
+	// opProbe
+	pas []arch.PA
+
+	// opStream
+	base   arch.PA
+	count  int
+	stride int
+
+	// results
+	value   uint64
+	lat     arch.Cycles
+	lats    []arch.Cycles
+	hits    []bool
+	misses  int
+	touched []int // set indices touched (opStream, optional)
+}
+
+// Worker is one simulated thread block's execution context.
+type Worker struct {
+	eng   *engine
+	m     *Machine
+	cond  *sync.Cond
+	id    int
+	name  string
+	dev   arch.DeviceID
+	clock arch.Cycles
+	state int
+
+	pending *request
+	res     *gpu.BlockReservation
+}
+
+// Spawn creates a worker (one simulated thread block) on dev running
+// body. sharedMemBytes participates in SM occupancy; pass 0 when the
+// kernel does not use shared memory for anything the scheduler should
+// know about.
+func (m *Machine) Spawn(dev arch.DeviceID, name string, sharedMemBytes int, body func(*Worker)) (*Worker, error) {
+	if int(dev) >= len(m.devices) {
+		return nil, fmt.Errorf("sim: no such device %d", int(dev))
+	}
+	res, err := m.devices[dev].PlaceBlock(sharedMemBytes)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{m: m, eng: m.eng, dev: dev, name: name, res: res}
+	w.cond = sync.NewCond(&m.eng.mu)
+	m.eng.register(w, func(w *Worker) {
+		defer w.res.Release()
+		body(w)
+	})
+	return w, nil
+}
+
+// Run drives the machine until every spawned worker finishes. It is
+// the host-side synchronization point (cudaDeviceSynchronize across
+// the whole box).
+func (m *Machine) Run() {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+	m.eng.runAll(m.service)
+}
+
+// --- Worker-facing operations (called from kernel goroutines) ---
+
+// Name returns the worker's debug name.
+func (w *Worker) Name() string { return w.name }
+
+// Device returns the GPU the worker runs on.
+func (w *Worker) Device() arch.DeviceID { return w.dev }
+
+// Clock reads the cycle counter, charging the read overhead, like the
+// CUDA clock() intrinsic.
+func (w *Worker) Clock() arch.Cycles {
+	w.clock += arch.LatClockRead
+	return w.clock
+}
+
+// Now returns the current cycle without measurement overhead (host /
+// instrumentation use; attack code should use Clock).
+func (w *Worker) Now() arch.Cycles { return w.clock }
+
+// Busy advances the worker's clock by n dummy ALU operations.
+func (w *Worker) Busy(n int) {
+	w.clock += arch.Cycles(n) * arch.LatALUOp
+}
+
+// BusyHeavy advances the clock by n "computationally heavy dummy
+// instructions" — the trigonometric busy-wait the trojan uses while
+// transmitting a '0'.
+func (w *Worker) BusyHeavy(n int) {
+	w.clock += arch.Cycles(n) * arch.LatHeavyOp
+}
+
+// SharedWrite models buffering a value in on-SM shared memory (the
+// attacks record timing samples there to keep the measurement path
+// off the L2).
+func (w *Worker) SharedWrite() {
+	w.clock += arch.LatSharedMem
+}
+
+// LoadCG performs an L1-bypassing cached load (__ldcg) of the 8-byte
+// word at physical address pa, returning the loaded value and the
+// access latency. One engine event.
+func (w *Worker) LoadCG(pa arch.PA) (uint64, arch.Cycles) {
+	req := &request{kind: opLoad, pa: pa, loadData: true}
+	w.yield(req)
+	return req.value, req.lat
+}
+
+// TouchCG is LoadCG without data (for kernels that only shape cache
+// state); it still moves the line through the L2.
+func (w *Worker) TouchCG(pa arch.PA) arch.Cycles {
+	req := &request{kind: opLoad, pa: pa}
+	w.yield(req)
+	return req.lat
+}
+
+// ProbeLines accesses every line in pas as one warp-parallel probe:
+// per-line latencies are measured individually, and the aggregate
+// charge models memory-level parallelism (max latency plus issue
+// intervals plus per-miss serialization). One engine event.
+func (w *Worker) ProbeLines(pas []arch.PA) (lats []arch.Cycles, total arch.Cycles) {
+	req := &request{kind: opProbe, pas: pas}
+	w.yield(req)
+	return req.lats, req.lat
+}
+
+// StreamRange touches count lines starting at physical address base
+// with the given byte stride, as a streaming warp would. It returns
+// the number of L2 misses and the total cycles charged. One engine
+// event regardless of count, which keeps large victim workloads cheap
+// to simulate.
+func (w *Worker) StreamRange(base arch.PA, count, stride int) (misses int, total arch.Cycles) {
+	req := &request{kind: opStream, base: base, count: count, stride: stride}
+	w.yield(req)
+	return req.misses, req.lat
+}
+
+// Yield parks the worker for one no-op event, letting equal-clock
+// peers run. Rarely needed; spin loops that contain real events never
+// starve anyone.
+func (w *Worker) Yield() {
+	w.yield(&request{kind: opYield})
+}
+
+// --- Event service (engine goroutine, lock held) ---
+
+// service applies one request to shared hardware state.
+func (m *Machine) service(w *Worker, req *request) {
+	switch req.kind {
+	case opYield:
+		// no-op: the park/resume itself is the point
+	case opLoad:
+		lat, hit := m.accessLine(w, req.pa)
+		_ = hit
+		if req.loadData {
+			req.value = m.phys.ReadU64(req.pa)
+		}
+		req.lat = lat
+		w.clock += lat
+	case opProbe:
+		req.lats = make([]arch.Cycles, len(req.pas))
+		req.hits = make([]bool, len(req.pas))
+		var maxLat arch.Cycles
+		misses := 0
+		for i, pa := range req.pas {
+			lat, hit := m.accessLine(w, pa)
+			req.lats[i] = lat
+			req.hits[i] = hit
+			if !hit {
+				misses++
+			}
+			if lat > maxLat {
+				maxLat = lat
+			}
+		}
+		total := maxLat
+		if n := len(req.pas); n > 1 {
+			total += arch.Cycles(n-1) * arch.HitII
+		}
+		total += arch.Cycles(misses) * arch.MissII
+		req.misses = misses
+		req.lat = total
+		w.clock += total
+	case opStream:
+		var total arch.Cycles
+		misses := 0
+		for i := 0; i < req.count; i++ {
+			pa := req.base + arch.PA(i*req.stride)
+			lat, hit := m.accessLine(w, pa)
+			if !hit {
+				misses++
+			}
+			// Streaming warps overlap almost everything; charge the
+			// issue interval per line plus full latency for the first.
+			if i == 0 {
+				total += lat
+			} else {
+				total += arch.HitII
+				if !hit {
+					total += arch.MissII
+				}
+			}
+		}
+		req.misses = misses
+		req.lat = total
+		w.clock += total
+	}
+}
+
+// accessLine performs the NUMA L2 access for one line and returns its
+// latency and hit status. This is the mechanism the whole paper rests
+// on: the line is cached in the L2 of the GPU that *homes* the
+// physical page, never the requester's.
+func (m *Machine) accessLine(w *Worker, pa arch.PA) (arch.Cycles, bool) {
+	home := pa.HomeDevice()
+	remote := home != w.dev
+	if remote && !m.PeerEnabled(w.dev, home) {
+		panic(fmt.Sprintf("sim: worker %q on %v accessed %v memory without peer access",
+			w.name, w.dev, home))
+	}
+	hit, _ := m.devices[home].L2().Access(pa.LineAddr())
+	lat := arch.LatL2Hit
+	if !hit {
+		lat += m.devices[home].HBM().ReadLine(pa)
+	}
+	if remote {
+		hop, err := m.topo.Traverse(w.dev, home, arch.CacheLineSize)
+		if err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+		lat += hop
+		if !hit {
+			lat += arch.LatRemoteMissExtra
+		}
+	}
+	lat += m.jitterFor(w, home)
+	return lat, hit
+}
+
+// jitterFor samples the timing noise for an access by worker w to the
+// L2 of device home. Noise grows with the number of other workers
+// recently active on the same L2 — the port/bank contention that
+// drives the Fig. 9 error-rate curve.
+func (m *Machine) jitterFor(w *Worker, home arch.DeviceID) arch.Cycles {
+	touch := m.lastTouch[home]
+	touch[w.id] = m.eng.eventNo
+	if m.noiseOff {
+		return 0
+	}
+	others := 0
+	for id, ev := range touch {
+		if id == w.id {
+			continue
+		}
+		// Only live workers within the recency window count: a worker
+		// from a finished kernel cannot contend for ports.
+		if _, alive := m.eng.workers[id]; alive && m.eng.eventNo-ev <= contentionWindow {
+			others++
+		} else {
+			delete(touch, id)
+		}
+	}
+	sigma := arch.JitterSigma + m.contSigmaPer*float64(others)
+	j := m.jitter.NormSigma(sigma)
+	if j < 0 {
+		// Latencies have a hard floor; fold the negative tail back so
+		// the mean stays near nominal but dispersion is preserved.
+		j = -j / 2
+	}
+	return arch.Cycles(j + 0.5)
+}
+
+// ContentionLevel reports how many distinct workers touched dev's L2
+// within the trailing contention window (diagnostic hook).
+func (m *Machine) ContentionLevel(dev arch.DeviceID) int {
+	n := 0
+	for _, ev := range m.lastTouch[dev] {
+		if m.eng.eventNo-ev <= contentionWindow {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,359 @@
+// Package stats provides the small statistical toolkit the attacks
+// rely on: summary statistics, histograms (the paper's Fig. 4 and
+// Fig. 13 are histograms), and 1-D k-means clustering, which the
+// timing-characterization step uses to separate the four access-time
+// clusters and place hit/miss thresholds between them.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary captures the usual five-number-style description of a
+// sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Med, Max float64
+	P5, P95       float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Std:  StdDev(xs),
+		Min:  Min(xs),
+		Med:  Median(xs),
+		Max:  Max(xs),
+		P5:   Percentile(xs, 5),
+		P95:  Percentile(xs, 95),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f std=%.1f min=%.0f p5=%.0f med=%.0f p95=%.0f max=%.0f",
+		s.N, s.Mean, s.Std, s.Min, s.P5, s.Med, s.P95, s.Max)
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count samples falling outside [Lo, Hi).
+	Under, Over int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin
+// count. It panics if hi <= lo or bins <= 0.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo || bins <= 0 {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard float rounding at the edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll records every sample in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of in-range samples recorded.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Modes returns the centers of local maxima with at least minCount
+// samples, in ascending bin order. The timing characterization uses
+// this as a sanity check against the k-means clusters.
+func (h *Histogram) Modes(minCount int) []float64 {
+	var modes []float64
+	for i, c := range h.Counts {
+		if c < minCount {
+			continue
+		}
+		left := 0
+		if i > 0 {
+			left = h.Counts[i-1]
+		}
+		right := 0
+		if i < len(h.Counts)-1 {
+			right = h.Counts[i+1]
+		}
+		if c >= left && c > right || (c > left && c >= right) {
+			modes = append(modes, h.BinCenter(i))
+		}
+	}
+	return modes
+}
+
+// Render draws the histogram as ASCII art, one row per bin, scaled to
+// width columns. Empty leading/trailing bins are trimmed.
+func (h *Histogram) Render(width int) string {
+	first, last := -1, -1
+	maxC := 0
+	for i, c := range h.Counts {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	if first < 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	for i := first; i <= last; i++ {
+		c := h.Counts[i]
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%8.0f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// KMeans1D clusters xs into k clusters by Lloyd's algorithm on the
+// line, returning ascending cluster centers and the assignment of
+// each sample. Initialization spreads the centers over the sample
+// quantiles, which is deterministic and robust for well-separated
+// clusters like the four timing classes.
+func KMeans1D(xs []float64, k int) (centers []float64, assign []int) {
+	if k <= 0 || len(xs) == 0 {
+		return nil, nil
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	centers = make([]float64, k)
+	for i := range centers {
+		// quantile-spread init: p in (0,100)
+		p := (float64(i) + 0.5) / float64(k) * 100
+		centers[i] = Percentile(xs, p)
+	}
+	assign = make([]int, len(xs))
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, x := range xs {
+			best, bestD := 0, math.Abs(x-centers[0])
+			for c := 1; c < k; c++ {
+				if d := math.Abs(x - centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, x := range xs {
+			sums[assign[i]] += x
+			counts[assign[i]]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Sort centers ascending and remap assignments.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return centers[order[a]] < centers[order[b]] })
+	remap := make([]int, k)
+	sorted := make([]float64, k)
+	for newIdx, oldIdx := range order {
+		remap[oldIdx] = newIdx
+		sorted[newIdx] = centers[oldIdx]
+	}
+	for i := range assign {
+		assign[i] = remap[assign[i]]
+	}
+	return sorted, assign
+}
+
+// ClusterGaps returns the midpoints between consecutive ascending
+// centers. With the four timing clusters these midpoints are the
+// hit/miss thresholds the attacks use.
+func ClusterGaps(centers []float64) []float64 {
+	if len(centers) < 2 {
+		return nil
+	}
+	gaps := make([]float64, len(centers)-1)
+	for i := 0; i+1 < len(centers); i++ {
+		gaps[i] = (centers[i] + centers[i+1]) / 2
+	}
+	return gaps
+}
+
+// ArgMax returns the index of the largest element, or -1 if empty.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMaxInt returns the index of the largest int element, or -1.
+func ArgMaxInt(xs []int) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MeanInt returns the mean of integer samples as a float.
+func MeanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum int
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}

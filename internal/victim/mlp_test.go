@@ -1,0 +1,172 @@
+package victim
+
+import (
+	"testing"
+
+	"spybox/internal/sim"
+	"spybox/internal/xrand"
+)
+
+func TestSynthMNISTShape(t *testing.T) {
+	ds := SynthMNIST(50, xrand.New(1))
+	if len(ds.Images) != 50 || len(ds.Labels) != 50 {
+		t.Fatalf("sizes %d/%d", len(ds.Images), len(ds.Labels))
+	}
+	for i, img := range ds.Images {
+		if len(img) != ImgPixels {
+			t.Fatalf("image %d has %d pixels", i, len(img))
+		}
+		for _, p := range img {
+			if p < 0 || p > 1 {
+				t.Fatalf("pixel %v out of range", p)
+			}
+		}
+		if ds.Labels[i] < 0 || ds.Labels[i] > 9 {
+			t.Fatalf("label %d out of range", ds.Labels[i])
+		}
+	}
+}
+
+func TestSynthMNISTDeterministic(t *testing.T) {
+	a := SynthMNIST(10, xrand.New(7))
+	b := SynthMNIST(10, xrand.New(7))
+	for i := range a.Images {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for p := range a.Images[i] {
+			if a.Images[i][p] != b.Images[i][p] {
+				t.Fatal("pixels differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestPrototypesDistinct(t *testing.T) {
+	// Every pair of digit prototypes must differ in enough pixels to
+	// be separable.
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			pa, pb := prototype(a), prototype(b)
+			diff := 0
+			for i := range pa {
+				if pa[i] != pb[i] {
+					diff++
+				}
+			}
+			if diff < 10 {
+				t.Errorf("digits %d and %d differ in only %d pixels", a, b, diff)
+			}
+		}
+	}
+}
+
+func TestMLPLearns(t *testing.T) {
+	rng := xrand.New(3)
+	net := NewMLP(32, rng.Split())
+	train := SynthMNIST(300, rng.Split())
+	test := SynthMNIST(100, rng.Split())
+	before := net.Accuracy(test)
+	var lastLoss float64
+	for ep := 0; ep < 5; ep++ {
+		lastLoss = 0
+		for i := range train.Images {
+			lastLoss += net.TrainSample(train.Images[i], train.Labels[i])
+		}
+		lastLoss /= float64(len(train.Images))
+	}
+	after := net.Accuracy(test)
+	if after < 0.8 {
+		t.Errorf("MLP test accuracy %.2f after training (was %.2f)", after, before)
+	}
+	if after <= before {
+		t.Errorf("training did not improve accuracy: %.2f -> %.2f", before, after)
+	}
+	if lastLoss > 0.6 {
+		t.Errorf("final loss %.2f too high", lastLoss)
+	}
+}
+
+func TestMLPForwardIsDistribution(t *testing.T) {
+	net := NewMLP(16, xrand.New(5))
+	img := SynthMNIST(1, xrand.New(6)).Images[0]
+	_, probs := net.Forward(img)
+	var sum float64
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("prob %v out of range", p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+}
+
+func TestMLPVictimConfigValidation(t *testing.T) {
+	m := sim.MustNewMachine(sim.Options{Seed: 9, NoiseOff: true})
+	bad := []MLPVictimConfig{
+		{Hidden: 0, Epochs: 1, Samples: 16, BatchSize: 8},
+		{Hidden: 8, Epochs: 0, Samples: 16, BatchSize: 8},
+		{Hidden: 8, Epochs: 1, Samples: 0, BatchSize: 8},
+		{Hidden: 8, Epochs: 1, Samples: 16, BatchSize: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := NewMLPVictim(m, 0, 1, cfg); err == nil {
+			t.Errorf("bad config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestMLPVictimTrafficScalesWithHidden(t *testing.T) {
+	run := func(hidden int) uint64 {
+		m := sim.MustNewMachine(sim.Options{Seed: 10, NoiseOff: true})
+		cfg := MLPVictimConfig{Hidden: hidden, Epochs: 1, Samples: 32, BatchSize: 16, EpochGapOps: 0}
+		v, err := NewMLPVictim(m, 0, 11, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := false
+		if err := v.Launch(&done); err != nil {
+			t.Fatal(err)
+		}
+		m.Run()
+		if !done {
+			t.Fatal("victim did not finish")
+		}
+		h, miss, _ := m.Device(0).L2().Totals()
+		return h + miss
+	}
+	small, big := run(32), run(256)
+	if big <= small {
+		t.Errorf("traffic did not scale with hidden width: h32=%d h256=%d", small, big)
+	}
+	if big < small*3 {
+		t.Errorf("traffic scaling too weak: h32=%d h256=%d", small, big)
+	}
+}
+
+func TestMLPVictimTrainsForReal(t *testing.T) {
+	m := sim.MustNewMachine(sim.Options{Seed: 12, NoiseOff: true})
+	cfg := MLPVictimConfig{Hidden: 32, Epochs: 3, Samples: 64, BatchSize: 16, EpochGapOps: 10}
+	v, err := NewMLPVictim(m, 0, 13, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	v.Launch(&done)
+	m.Run()
+	if v.FinalLoss <= 0 || v.FinalLoss > 2.0 {
+		t.Errorf("final loss %.3f implausible for 3 epochs", v.FinalLoss)
+	}
+	if acc := v.Net.Accuracy(v.Data); acc < 0.5 {
+		t.Errorf("victim net only fits %.2f of its training data", acc)
+	}
+}
+
+func TestDefaultMLPVictimConfig(t *testing.T) {
+	cfg := DefaultMLPVictimConfig(128)
+	if cfg.Hidden != 128 || cfg.Epochs <= 0 || cfg.Samples <= 0 {
+		t.Errorf("bad default config %+v", cfg)
+	}
+}

@@ -1,0 +1,160 @@
+// Synthetic MNIST-like digit data. The paper's MLP victim trains on
+// MNIST; offline we generate a deterministic stand-in with the same
+// shape (28x28 grayscale, 10 classes) that is genuinely learnable:
+// each class has a fixed stroke prototype, and samples are noisy,
+// shifted copies.
+package victim
+
+import (
+	"spybox/internal/xrand"
+)
+
+// ImgSide is the digit image side length, matching MNIST.
+const ImgSide = 28
+
+// ImgPixels is the flattened image size (784), the MLP input width.
+const ImgPixels = ImgSide * ImgSide
+
+// Dataset is a labelled set of flattened digit images.
+type Dataset struct {
+	Images [][]float64 // each ImgPixels long, values in [0,1]
+	Labels []int       // 0..9
+}
+
+// prototype renders the stroke skeleton for digit class d into a
+// 28x28 grid. The shapes are crude seven-segment-style digits — more
+// than enough structure for an MLP to separate.
+func prototype(d int) []float64 {
+	img := make([]float64, ImgPixels)
+	seg := func(x0, y0, x1, y1 int) {
+		steps := abs(x1-x0) + abs(y1-y0) + 1
+		for s := 0; s <= steps; s++ {
+			x := x0 + (x1-x0)*s/steps
+			y := y0 + (y1-y0)*s/steps
+			for dx := 0; dx < 2; dx++ {
+				for dy := 0; dy < 2; dy++ {
+					xx, yy := x+dx, y+dy
+					if xx >= 0 && xx < ImgSide && yy >= 0 && yy < ImgSide {
+						img[yy*ImgSide+xx] = 1
+					}
+				}
+			}
+		}
+	}
+	// Seven-segment layout: corners at (6,4) (20,4) (6,13) (20,13)
+	// (6,22) (20,22).
+	top := func() { seg(6, 4, 20, 4) }
+	mid := func() { seg(6, 13, 20, 13) }
+	bot := func() { seg(6, 22, 20, 22) }
+	ul := func() { seg(6, 4, 6, 13) }
+	ur := func() { seg(20, 4, 20, 13) }
+	ll := func() { seg(6, 13, 6, 22) }
+	lr := func() { seg(20, 13, 20, 22) }
+	switch d {
+	case 0:
+		top()
+		bot()
+		ul()
+		ur()
+		ll()
+		lr()
+	case 1:
+		ur()
+		lr()
+	case 2:
+		top()
+		ur()
+		mid()
+		ll()
+		bot()
+	case 3:
+		top()
+		ur()
+		mid()
+		lr()
+		bot()
+	case 4:
+		ul()
+		ur()
+		mid()
+		lr()
+	case 5:
+		top()
+		ul()
+		mid()
+		lr()
+		bot()
+	case 6:
+		top()
+		ul()
+		mid()
+		ll()
+		lr()
+		bot()
+	case 7:
+		top()
+		ur()
+		lr()
+	case 8:
+		top()
+		mid()
+		bot()
+		ul()
+		ur()
+		ll()
+		lr()
+	case 9:
+		top()
+		mid()
+		bot()
+		ul()
+		ur()
+		lr()
+	}
+	return img
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SynthMNIST generates n deterministic labelled samples: prototypes
+// jittered by up to +/-2 pixels of translation plus pixel noise.
+func SynthMNIST(n int, rng *xrand.Source) *Dataset {
+	ds := &Dataset{
+		Images: make([][]float64, n),
+		Labels: make([]int, n),
+	}
+	protos := make([][]float64, 10)
+	for d := range protos {
+		protos[d] = prototype(d)
+	}
+	for i := 0; i < n; i++ {
+		d := rng.Intn(10)
+		dx, dy := rng.Intn(5)-2, rng.Intn(5)-2
+		img := make([]float64, ImgPixels)
+		for y := 0; y < ImgSide; y++ {
+			for x := 0; x < ImgSide; x++ {
+				sx, sy := x-dx, y-dy
+				if sx >= 0 && sx < ImgSide && sy >= 0 && sy < ImgSide {
+					img[y*ImgSide+x] = protos[d][sy*ImgSide+sx]
+				}
+			}
+		}
+		for p := range img {
+			img[p] += 0.15 * rng.Norm()
+			if img[p] < 0 {
+				img[p] = 0
+			}
+			if img[p] > 1 {
+				img[p] = 1
+			}
+		}
+		ds.Images[i] = img
+		ds.Labels[i] = d
+	}
+	return ds
+}

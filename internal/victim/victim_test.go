@@ -1,0 +1,151 @@
+package victim
+
+import (
+	"testing"
+
+	"spybox/internal/arch"
+	"spybox/internal/sim"
+)
+
+func testMachine(seed uint64) *sim.Machine {
+	return sim.MustNewMachine(sim.Options{Seed: seed, NoiseOff: true})
+}
+
+func smallCfg() Config {
+	return Config{ArrayKB: 64, Passes: 2, ChunkDelay: 10}
+}
+
+func TestAllAppsRunAndTouchCache(t *testing.T) {
+	for _, name := range AppNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := testMachine(7)
+			app, err := NewApp(name, m, 0, 42, smallCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if app.Name != name {
+				t.Errorf("Name = %q", app.Name)
+			}
+			done := false
+			if err := app.Launch(&done); err != nil {
+				t.Fatal(err)
+			}
+			m.Run()
+			if !done {
+				t.Error("done flag not set")
+			}
+			h, miss, _ := m.Device(0).L2().Totals()
+			if h+miss == 0 {
+				t.Error("app issued no cache accesses")
+			}
+		})
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	m := testMachine(1)
+	if _, err := NewApp("fortnite", m, 0, 1, smallCfg()); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestAppStopFlag(t *testing.T) {
+	m := testMachine(3)
+	cfg := smallCfg()
+	cfg.Passes = 1 << 20
+	app := NewVectorAdd(m, 0, 5, cfg)
+	stop := false
+	app.Stop = &stop
+	done := false
+	if err := app.Launch(&done); err != nil {
+		t.Fatal(err)
+	}
+	other := NewHistogram(m, 1, 6, Config{ArrayKB: 64, Passes: 3, ChunkDelay: 10})
+	if err := other.Launch(&stop); err != nil { // histogram's completion stops vectoradd
+		t.Fatal(err)
+	}
+	doneCh := make(chan struct{})
+	go func() {
+		m.Run()
+		close(doneCh)
+	}()
+	<-doneCh
+	if !done {
+		t.Error("vectoradd did not stop when flagged")
+	}
+}
+
+func TestAppsHaveDistinctFootprints(t *testing.T) {
+	// The L2 set-counter profile after a run differs across apps —
+	// a cheap proxy for the memorygram separability the attack needs.
+	misses := map[string]uint64{}
+	accesses := map[string]uint64{}
+	for _, name := range AppNames {
+		m := testMachine(11)
+		app, err := NewApp(name, m, 0, 99, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := false
+		app.Launch(&done)
+		m.Run()
+		h, ms, _ := m.Device(0).L2().Totals()
+		misses[name] = ms
+		accesses[name] = h + ms
+	}
+	// Compulsory misses scale with footprint (array count)...
+	if misses["blackscholes"] <= misses["vectoradd"] {
+		t.Error("blackscholes (7 arrays) should out-miss vectoradd (3 arrays)")
+	}
+	// ...while total access volume scales with sweep count.
+	if accesses["walshtransform"] <= accesses["histogram"] {
+		t.Error("walsh (log N sweeps) should out-access histogram (1 sweep)")
+	}
+}
+
+func TestCndSanity(t *testing.T) {
+	if got := cnd(0); got < 0.49 || got > 0.51 {
+		t.Errorf("cnd(0) = %v, want ~0.5", got)
+	}
+	if got := cnd(6); got < 0.999 {
+		t.Errorf("cnd(6) = %v", got)
+	}
+	if got := cnd(-6); got > 0.001 {
+		t.Errorf("cnd(-6) = %v", got)
+	}
+}
+
+func TestTrailingOnes(t *testing.T) {
+	cases := map[uint32]int{0: 0, 1: 1, 2: 0, 3: 2, 7: 3, 8: 0, 0xF: 4}
+	for x, want := range cases {
+		if got := trailingOnes(x); got != want {
+			t.Errorf("trailingOnes(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestConfigLines(t *testing.T) {
+	if got := (Config{ArrayKB: 128}).lines(); got != 1024 {
+		t.Errorf("lines = %d", got)
+	}
+}
+
+func TestVictimsStayOnTheirGPU(t *testing.T) {
+	m := testMachine(13)
+	app := NewMatMul(m, 3, 77, smallCfg())
+	done := false
+	app.Launch(&done)
+	m.Run()
+	h, miss, _ := m.Device(3).L2().Totals()
+	if h+miss == 0 {
+		t.Error("no traffic on the victim's GPU")
+	}
+	h0, m0, _ := m.Device(0).L2().Totals()
+	if h0+m0 != 0 {
+		t.Error("victim leaked traffic onto GPU0")
+	}
+	if arch.DeviceID(3) != app.Proc.Device() {
+		t.Error("wrong device binding")
+	}
+}
