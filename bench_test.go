@@ -1,6 +1,7 @@
 // Benchmark harness: one benchmark per paper table/figure (regenerating
-// the experiment at small scale and reporting its headline metric) plus
-// the ablation benches DESIGN.md Sec. 6 calls out.
+// the experiment at small scale and reporting its headline metric), the
+// ablation benches, and the engine/runner perf baselines. EXPERIMENTS.md
+// indexes the experiments and their headline metrics.
 //
 // Run with: go test -bench=. -benchmem
 package main
@@ -20,8 +21,11 @@ import (
 
 // benchParams gives every benchmark iteration a distinct seed so
 // repeated iterations measure fresh machines, not cached state.
+// Parallel is pinned to 1: the per-figure benches measure serial
+// experiment cost, comparable across hosts; BenchmarkRunnerTrials
+// measures the fan-out separately.
 func benchParams(i int) expt.Params {
-	return expt.Params{Seed: 0xb000 + uint64(i), Scale: expt.Small}
+	return expt.Params{Seed: 0xb000 + uint64(i), Scale: expt.Small, Parallel: 1}
 }
 
 // runExperiment is the shared per-figure bench body.
@@ -100,7 +104,7 @@ func BenchmarkSecVIIDetection(b *testing.B) {
 	runExperiment(b, "sec7", "detected_covert channel active")
 }
 
-// --- Ablations (DESIGN.md Sec. 6) ---
+// --- Ablations (see EXPERIMENTS.md) ---
 
 // tinyCfg is the small geometry the ablations attack, so each
 // iteration is cheap.
@@ -279,6 +283,79 @@ func BenchmarkAblationContentionNoise(b *testing.B) {
 				errSum += tx.ErrorRate()
 			}
 			b.ReportMetric(errSum/float64(b.N), "bit_error_rate")
+		})
+	}
+}
+
+// --- Engine and runner perf baselines ---
+
+// BenchmarkSchedulerEvents measures the discrete-event engine's hot
+// path — park, heap push/pop, targeted wakeup, service — with varying
+// numbers of live workers contending for the schedule. ns/op is the
+// cost of one simulated shared-hardware event; events/s is the
+// engine's throughput. This is the baseline the O(log n) parked-worker
+// heap is held to.
+func BenchmarkSchedulerEvents(b *testing.B) {
+	for _, nw := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("workers%d", nw), func(b *testing.B) {
+			m := sim.MustNewMachine(sim.Options{Seed: 0x5c4ed, NoiseOff: true})
+			per := b.N/nw + 1
+			b.ResetTimer()
+			for w := 0; w < nw; w++ {
+				base := uint64(0x100000 + w*0x40000)
+				if _, err := m.Spawn(0, "bench", 0, func(wk *sim.Worker) {
+					for i := 0; i < per; i++ {
+						// Cycle over 32 lines: mostly L2 hits, so the
+						// benchmark times the engine, not the HBM model.
+						wk.TouchCG(arch.MakePA(0, base+uint64(i%32)*arch.CacheLineSize))
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m.Run()
+			b.ReportMetric(float64(nw*per)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkRunnerTrials measures trial fan-out overhead and scaling:
+// eight identical machine-building trials per op, serially and over
+// the worker pool. trials/s is the headline; on a multi-core host the
+// parallel variant should approach serial * min(8, cores).
+func BenchmarkRunnerTrials(b *testing.B) {
+	const trials = 8
+	body := func(t expt.Trial) (int, error) {
+		m := sim.MustNewMachine(sim.Options{Seed: t.Params.Seed, NoiseOff: true})
+		touches := 0
+		if _, err := m.Spawn(0, "trial", 0, func(wk *sim.Worker) {
+			for i := 0; i < 2000; i++ {
+				wk.TouchCG(arch.MakePA(0, uint64(0x200000+(i%64)*arch.CacheLineSize)))
+				touches++
+			}
+		}); err != nil {
+			return 0, err
+		}
+		m.Run()
+		return touches, nil
+	}
+	for _, parallel := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := fmt.Sprintf("parallel%d", parallel)
+		if parallel == 0 {
+			name = "parallelMax"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := expt.Params{Seed: 0xb417 + uint64(i), Scale: expt.Small, Parallel: parallel}
+				out, err := expt.RunTrials(p, trials, body)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out) != trials {
+					b.Fatalf("got %d trial results", len(out))
+				}
+			}
+			b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
 		})
 	}
 }

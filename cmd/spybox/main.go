@@ -4,10 +4,11 @@
 // Usage:
 //
 //	spybox list
-//	spybox run <experiment>|all [-seed N] [-scale small|default|paper] [-out DIR]
+//	spybox run <id>[,<id>...]|all [-seed N] [-scale small|default|paper] [-parallel N] [-out DIR]
 //
-// Each experiment prints its report to stdout; with -out, chart data
-// is also written as CSV into DIR.
+// Each experiment prints its report to stdout with its wall time; with
+// -out, chart data is also written as CSV into DIR. See README.md in
+// this directory for the full flag reference.
 package main
 
 import (
@@ -15,6 +16,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"spybox/internal/expt"
@@ -45,18 +49,49 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   spybox list
-  spybox run <experiment>|all [-seed N] [-scale small|default|paper] [-out DIR]`)
+  spybox run <id>[,<id>...]|all [-seed N] [-scale small|default|paper] [-parallel N] [-out DIR]`)
+}
+
+// selectExperiments resolves a comma-separated ID list (or "all") to
+// registry entries, in the order given.
+func selectExperiments(ids string) ([]expt.Experiment, error) {
+	if ids == "all" {
+		return expt.Registry(), nil
+	}
+	var todo []expt.Experiment
+	seen := map[string]bool{}
+	for _, id := range strings.Split(ids, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		e, ok := expt.Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (try 'spybox list')", id)
+		}
+		todo = append(todo, e)
+	}
+	if len(todo) == 0 {
+		return nil, fmt.Errorf("no experiment IDs in %q", ids)
+	}
+	return todo, nil
 }
 
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seed := fs.Uint64("seed", 20230612, "experiment seed (results are deterministic per seed)")
 	scaleStr := fs.String("scale", "default", "experiment scale: small, default, or paper")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker pool size for trial-decomposed experiments (results are identical at any value)")
 	outDir := fs.String("out", "", "directory for CSV chart data (optional)")
 	if len(args) == 0 {
 		return fmt.Errorf("run: missing experiment ID (try 'spybox list' or 'all')")
 	}
-	id := args[0]
+	ids := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -64,18 +99,16 @@ func runCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	params := expt.Params{Seed: *seed, Scale: scale}
-
-	var todo []expt.Experiment
-	if id == "all" {
-		todo = expt.Registry()
-	} else {
-		e, ok := expt.Lookup(id)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (try 'spybox list')", id)
-		}
-		todo = []expt.Experiment{e}
+	if *parallel < 1 {
+		return fmt.Errorf("run: -parallel must be >= 1 (got %d)", *parallel)
 	}
+	params := expt.Params{Seed: *seed, Scale: scale, Parallel: *parallel}
+
+	todo, err := selectExperiments(ids)
+	if err != nil {
+		return err
+	}
+	total := time.Now()
 	for _, e := range todo {
 		start := time.Now()
 		res, err := e.Run(params)
@@ -90,17 +123,30 @@ func runCmd(args []string) error {
 					return err
 				}
 			}
-			for name, data := range res.Artifacts {
+			// Sorted order: map iteration would shuffle the output
+			// between otherwise identical runs.
+			names := make([]string, 0, len(res.Artifacts))
+			for name := range res.Artifacts {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			if len(names) > 0 {
 				if err := os.MkdirAll(*outDir, 0o755); err != nil {
 					return err
 				}
+			}
+			for _, name := range names {
 				path := filepath.Join(*outDir, name)
-				if err := os.WriteFile(path, data, 0o644); err != nil {
+				if err := os.WriteFile(path, res.Artifacts[name], 0o644); err != nil {
 					return err
 				}
 				fmt.Printf("(artifact written to %s)\n", path)
 			}
 		}
+	}
+	if len(todo) > 1 {
+		fmt.Printf("(%d experiments completed in %.1fs, -parallel %d)\n",
+			len(todo), time.Since(total).Seconds(), *parallel)
 	}
 	return nil
 }

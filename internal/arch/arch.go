@@ -78,7 +78,8 @@ const (
 )
 
 // Latency model (cycles), calibrated against the paper's Fig. 4
-// clusters and Fig. 10 signal levels. See DESIGN.md Sec. 5.
+// clusters and Fig. 10 signal levels; the fig4 and fig10 experiments
+// (see EXPERIMENTS.md) reproduce both calibrations end to end.
 const (
 	// LatL2Hit is the cost of an L2 hit observed from the home GPU.
 	LatL2Hit Cycles = 268

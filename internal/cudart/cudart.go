@@ -30,20 +30,17 @@ type Process struct {
 	rng   *xrand.Source
 }
 
-// nextPID allocates process IDs per machine; tracked here so the
-// package stays stateless across machines.
-var nextPID = map[*sim.Machine]arch.ProcessID{}
-
 // NewProcess creates a process whose kernels run on dev. The seed
 // determines this process's frame placement; the paper observes that
 // placement is stable across runs for a fixed allocation size, which
-// re-using a seed reproduces.
+// re-using a seed reproduces. Process IDs come from the machine
+// (sim.Machine.AllocPID), so this package holds no cross-machine
+// state and concurrent trials on separate machines never contend.
 func NewProcess(m *sim.Machine, dev arch.DeviceID, seed uint64) (*Process, error) {
 	if int(dev) >= m.NumGPUs() {
 		return nil, fmt.Errorf("cudart: no such device %d", int(dev))
 	}
-	pid := nextPID[m]
-	nextPID[m] = pid + 1
+	pid := m.AllocPID()
 	rng := xrand.New(seed ^ 0x243f6a8885a308d3)
 	return &Process{
 		m:     m,

@@ -44,43 +44,56 @@ func fig9Runs(s Scale) int {
 	}
 }
 
+// fig9Trial is one (set count, run) transmission on its own machine.
+type fig9Trial struct {
+	bw, errRate float64
+}
+
 // Fig9 reproduces the bandwidth/error-rate tradeoff: transmit a
 // message over 1..16 parallel cache sets and report MB/s and error
-// percentage per configuration.
+// percentage per configuration. Trial-decomposed: one trial per
+// (set count, repetition), each with its own machine and attack pair.
 func Fig9(p Params) (*Result, error) {
-	pair, err := setupAttackPair(p)
-	if err != nil {
-		return nil, err
-	}
 	counts := fig9SetCounts(p.Scale)
-	maxSets := counts[len(counts)-1]
-	pairs, err := core.AlignChannels(pair.trojan, pair.spy, pair.trojanSets, pair.spySets, maxSets)
+	runs := fig9Runs(p.Scale)
+	outs, err := RunTrials(p, len(counts)*runs, func(t Trial) (fig9Trial, error) {
+		numSets := counts[t.Index/runs]
+		pair, err := setupAttackPair(t.Params)
+		if err != nil {
+			return fig9Trial{}, err
+		}
+		chPairs, err := core.AlignChannels(pair.trojan, pair.spy, pair.trojanSets, pair.spySets, numSets)
+		if err != nil {
+			return fig9Trial{}, err
+		}
+		ch, err := core.NewChannel(pair.trojan, pair.spy, chPairs, core.DefaultCovertConfig())
+		if err != nil {
+			return fig9Trial{}, err
+		}
+		msgRNG := xrand.New(t.Params.Seed ^ 0xc0de)
+		msg := make([]byte, fig9MessageBytes(p.Scale))
+		for i := range msg {
+			msg[i] = byte(msgRNG.Uint64())
+		}
+		tx, err := ch.Transmit(msg)
+		if err != nil {
+			return fig9Trial{}, err
+		}
+		return fig9Trial{bw: tx.BandwidthMBps(), errRate: tx.ErrorRate()}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	msgRNG := xrand.New(p.Seed ^ 0xc0de)
-	msg := make([]byte, fig9MessageBytes(p.Scale))
 	r := newResult("fig9", "Bandwidth and error rate in covert channel")
 	bwSeries := plot.Series{Name: "bandwidth MB/s"}
 	errSeries := plot.Series{Name: "error %"}
 	r.addf("%-6s %-14s %-10s", "sets", "bandwidth MB/s", "error %")
-	for _, n := range counts {
-		ch, err := core.NewChannel(pair.trojan, pair.spy, pairs[:n], core.DefaultCovertConfig())
-		if err != nil {
-			return nil, err
-		}
+	for ci, n := range counts {
 		var bw, errRate float64
-		runs := fig9Runs(p.Scale)
 		for run := 0; run < runs; run++ {
-			for i := range msg {
-				msg[i] = byte(msgRNG.Uint64())
-			}
-			tx, err := ch.Transmit(msg)
-			if err != nil {
-				return nil, err
-			}
-			bw += tx.BandwidthMBps()
-			errRate += tx.ErrorRate()
+			o := outs[ci*runs+run]
+			bw += o.bw
+			errRate += o.errRate
 		}
 		bw /= float64(runs)
 		errRate = errRate / float64(runs) * 100

@@ -22,39 +22,53 @@ func secVIMessageBytes(s Scale) int {
 // SecVI measures the covert channel's error rate in three conditions:
 // quiet machine, with a concurrent noise application on the target
 // GPU, and with the noise application locked out by occupancy
-// blocking (the paper's mitigation).
+// blocking (the paper's mitigation). Trial-decomposed: one trial per
+// condition. Every condition deliberately rebuilds the same machine
+// from the run seed (rather than the trial seed), so the three error
+// rates form a controlled comparison where only the condition differs.
 func SecVI(p Params) (*Result, error) {
-	pair, err := setupAttackPair(p)
-	if err != nil {
-		return nil, err
-	}
-	pairs, err := core.AlignChannels(pair.trojan, pair.spy, pair.trojanSets, pair.spySets, 2)
-	if err != nil {
-		return nil, err
-	}
-	ch, err := core.NewChannel(pair.trojan, pair.spy, pairs, core.DefaultCovertConfig())
-	if err != nil {
-		return nil, err
-	}
-	msgRNG := xrand.New(p.Seed ^ 0x6e)
-	msg := make([]byte, secVIMessageBytes(p.Scale))
-	for i := range msg {
-		msg[i] = byte(msgRNG.Uint64())
-	}
-
 	const noiseBlocks = 28
 	const noiseShared = 8 << 10
 
-	transmit := func(withNoise, withBlocking bool) (errRate float64, noisePlaced int, err error) {
+	type sec6Trial struct {
+		errRate float64
+		placed  int
+	}
+	conds := []struct{ withNoise, withBlocking bool }{
+		{false, false}, // quiet machine
+		{true, false},  // concurrent noise app
+		{true, true},   // noise + occupancy blocking
+	}
+	outs, err := RunTrials(p, len(conds), func(t Trial) (sec6Trial, error) {
+		withNoise, withBlocking := conds[t.Index].withNoise, conds[t.Index].withBlocking
+		pair, err := setupAttackPair(Params{Seed: p.Seed, Scale: p.Scale, Parallel: 1})
+		if err != nil {
+			return sec6Trial{}, err
+		}
+		pairs, err := core.AlignChannels(pair.trojan, pair.spy, pair.trojanSets, pair.spySets, 2)
+		if err != nil {
+			return sec6Trial{}, err
+		}
+		ch, err := core.NewChannel(pair.trojan, pair.spy, pairs, core.DefaultCovertConfig())
+		if err != nil {
+			return sec6Trial{}, err
+		}
+		msgRNG := xrand.New(p.Seed ^ 0x6e)
+		msg := make([]byte, secVIMessageBytes(p.Scale))
+		for i := range msg {
+			msg[i] = byte(msgRNG.Uint64())
+		}
+
 		var blocker *mitigate.OccupancyBlocker
 		var innerStop *bool
 		if withBlocking {
 			blocker, err = mitigate.Occupy(pair.m, trojanGPU, p.Seed^0xb10c,
 				func() bool { return innerStop != nil && *innerStop })
 			if err != nil {
-				return 0, 0, err
+				return sec6Trial{}, err
 			}
 		}
+		var noisePlaced int
 		tx, err := ch.TransmitWith(msg, func(stop *bool) error {
 			innerStop = stop
 			if withNoise {
@@ -68,25 +82,18 @@ func SecVI(p Params) (*Result, error) {
 			return nil
 		})
 		if err != nil {
-			return 0, 0, err
+			return sec6Trial{}, err
 		}
 		_ = blocker
-		return tx.ErrorRate(), noisePlaced, nil
+		return sec6Trial{errRate: tx.ErrorRate(), placed: noisePlaced}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	r := newResult("sec6", "Noise mitigation via occupancy blocking")
-	quiet, _, err := transmit(false, false)
-	if err != nil {
-		return nil, err
-	}
-	noisy, placedNoisy, err := transmit(true, false)
-	if err != nil {
-		return nil, err
-	}
-	blocked, placedBlocked, err := transmit(true, true)
-	if err != nil {
-		return nil, err
-	}
+	quiet, noisy, blocked := outs[0].errRate, outs[1].errRate, outs[2].errRate
+	placedNoisy, placedBlocked := outs[1].placed, outs[2].placed
 	r.addf("%-34s %-12s %s", "condition", "error rate", "noise blocks resident")
 	r.addf("%-34s %-12.2f%% %d", "quiet machine", 100*quiet, 0)
 	r.addf("%-34s %-12.2f%% %d", "concurrent noise app", 100*noisy, placedNoisy)

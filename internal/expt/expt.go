@@ -3,8 +3,9 @@
 // holding the printable rows/series the paper reports; cmd/spybox,
 // the benchmark harness, and EXPERIMENTS.md all consume these.
 //
-// The per-experiment index lives in DESIGN.md Sec. 4; scale notes are
-// in EXPERIMENTS.md.
+// Repetition-heavy experiments are decomposed into independent trials
+// executed by the runner (runner.go); the per-experiment index, trial
+// granularity, scales, and headline metrics live in EXPERIMENTS.md.
 package expt
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"spybox/internal/arch"
 	"spybox/internal/core"
@@ -48,6 +50,11 @@ func ParseScale(s string) (Scale, error) {
 type Params struct {
 	Seed  uint64
 	Scale Scale
+	// Parallel bounds how many trials of a decomposed experiment run
+	// concurrently (each trial is its own simulated Machine). 0 means
+	// use every available core. Results are bit-identical at any
+	// value; see runner.go.
+	Parallel int
 }
 
 // Result is one experiment's reproduction output.
@@ -109,37 +116,49 @@ type Experiment struct {
 	Run   func(Params) (*Result, error)
 }
 
-// Registry lists all experiments in paper order.
+// Registry lists all experiments in paper order. Trial-decomposed
+// experiments (see runner.go and EXPERIMENTS.md) are registered
+// directly; single-shot experiments ride the trivial OneTrial adapter
+// so everything the CLI runs goes through the runner.
 func Registry() []Experiment {
 	return []Experiment{
-		{"fig4", "Local and remote GPU access time (timing characterization)", Fig4},
-		{"fig5", "Validating the eviction set determination", Fig5},
-		{"table1", "L2 cache architecture (reverse engineered)", TableI},
-		{"fig7", "Eviction set alignment across processes", Fig7},
+		{"fig4", "Local and remote GPU access time (timing characterization)", OneTrial(Fig4)},
+		{"fig5", "Validating the eviction set determination", OneTrial(Fig5)},
+		{"table1", "L2 cache architecture (reverse engineered)", OneTrial(TableI)},
+		{"fig7", "Eviction set alignment across processes", OneTrial(Fig7)},
 		{"fig9", "Covert channel bandwidth and error rate vs. cache sets", Fig9},
-		{"fig10", "Covert message waveform received by spy", Fig10},
+		{"fig10", "Covert message waveform received by spy", OneTrial(Fig10)},
 		{"fig11", "Memorygrams of six victim applications", Fig11},
 		{"fig12", "Application fingerprinting confusion matrix", Fig12},
 		{"fig13", "MLP cache misses per set histogram", Fig13},
 		{"table2", "Average misses over all cache sets vs. hidden neurons", TableII},
-		{"fig14", "Memorygram of MLP with 128 vs 512 neurons", Fig14},
-		{"fig15", "Two-epoch MLP memorygram and epoch counting", Fig15},
+		{"fig14", "Memorygram of MLP with 128 vs 512 neurons", OneTrial(Fig14)},
+		{"fig15", "Two-epoch MLP memorygram and epoch counting", OneTrial(Fig15)},
 		{"sec6", "Noise mitigation via occupancy blocking", SecVI},
-		{"sec7", "NVLink traffic detection of cross-GPU attacks", SecVII},
+		{"sec7", "NVLink traffic detection of cross-GPU attacks", OneTrial(SecVII)},
 		{"mig", "MIG-style partitioning defense (extension)", MIG},
 		{"pairs", "Cross-GPU timing across every NVLink pair (extension)", Pairs},
 		{"multigpu", "Covert channel over additional spy GPUs (extension)", MultiGPU},
 	}
 }
 
-// Lookup finds an experiment by ID.
+// lookupIndex is the ID -> Experiment map, built once from Registry().
+var (
+	lookupOnce sync.Once
+	lookupMap  map[string]Experiment
+)
+
+// Lookup finds an experiment by ID in O(1).
 func Lookup(id string) (Experiment, bool) {
-	for _, e := range Registry() {
-		if e.ID == id {
-			return e, true
+	lookupOnce.Do(func() {
+		reg := Registry()
+		lookupMap = make(map[string]Experiment, len(reg))
+		for _, e := range reg {
+			lookupMap[e.ID] = e
 		}
-	}
-	return Experiment{}, false
+	})
+	e, ok := lookupMap[id]
+	return e, ok
 }
 
 // --- shared setup helpers ---

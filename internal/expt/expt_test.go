@@ -44,6 +44,7 @@ func TestRegistryAndLookup(t *testing.T) {
 }
 
 func TestFig4(t *testing.T) {
+	t.Parallel()
 	r, err := Fig4(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -59,6 +60,7 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig5(t *testing.T) {
+	t.Parallel()
 	r, err := Fig5(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -72,6 +74,7 @@ func TestFig5(t *testing.T) {
 }
 
 func TestTableI(t *testing.T) {
+	t.Parallel()
 	r, err := TableI(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +87,7 @@ func TestTableI(t *testing.T) {
 }
 
 func TestFig7(t *testing.T) {
+	t.Parallel()
 	r, err := Fig7(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -97,6 +101,7 @@ func TestFig7(t *testing.T) {
 }
 
 func TestFig9(t *testing.T) {
+	t.Parallel()
 	r, err := Fig9(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -115,6 +120,7 @@ func TestFig9(t *testing.T) {
 }
 
 func TestFig10(t *testing.T) {
+	t.Parallel()
 	r, err := Fig10(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +142,7 @@ func TestFig10(t *testing.T) {
 }
 
 func TestFig11(t *testing.T) {
+	t.Parallel()
 	r, err := Fig11(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -148,6 +155,10 @@ func TestFig11(t *testing.T) {
 }
 
 func TestFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 collects 144 fingerprint samples; skipped in -short CI runs")
+	}
+	t.Parallel()
 	r, err := Fig12(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -158,6 +169,7 @@ func TestFig12(t *testing.T) {
 }
 
 func TestFig13(t *testing.T) {
+	t.Parallel()
 	r, err := Fig13(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -168,6 +180,10 @@ func TestFig13(t *testing.T) {
 }
 
 func TestTableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table2 trains 8 MLP victims; skipped in -short CI runs")
+	}
+	t.Parallel()
 	r, err := TableII(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -181,6 +197,7 @@ func TestTableII(t *testing.T) {
 }
 
 func TestFig14(t *testing.T) {
+	t.Parallel()
 	r, err := Fig14(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -191,6 +208,7 @@ func TestFig14(t *testing.T) {
 }
 
 func TestFig15(t *testing.T) {
+	t.Parallel()
 	r, err := Fig15(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -201,6 +219,7 @@ func TestFig15(t *testing.T) {
 }
 
 func TestSecVI(t *testing.T) {
+	t.Parallel()
 	r, err := SecVI(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -218,6 +237,7 @@ func TestSecVI(t *testing.T) {
 }
 
 func TestSecVII(t *testing.T) {
+	t.Parallel()
 	r, err := SecVII(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -234,6 +254,7 @@ func TestSecVII(t *testing.T) {
 }
 
 func TestMIG(t *testing.T) {
+	t.Parallel()
 	r, err := MIG(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -247,6 +268,7 @@ func TestMIG(t *testing.T) {
 }
 
 func TestPairs(t *testing.T) {
+	t.Parallel()
 	r, err := Pairs(smallParams())
 	if err != nil {
 		t.Fatal(err)
@@ -260,6 +282,10 @@ func TestPairs(t *testing.T) {
 }
 
 func TestMultiGPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multigpu runs three full channel setups; skipped in -short CI runs")
+	}
+	t.Parallel()
 	r, err := MultiGPU(smallParams())
 	if err != nil {
 		t.Fatal(err)

@@ -16,6 +16,7 @@ import (
 	"spybox/internal/arch"
 	"spybox/internal/core"
 	"spybox/internal/cudart"
+	"spybox/internal/nvlink"
 	"spybox/internal/sim"
 	"spybox/internal/stats"
 	"spybox/internal/xrand"
@@ -24,7 +25,9 @@ import (
 // MIG runs the covert-channel setup twice: on the stock machine
 // (attack succeeds) and on a machine with two MIG-style partitions
 // (alignment finds no colliding sets; the attack dies before a single
-// bit moves).
+// bit moves). Trial-decomposed: the two attempts are independent
+// trials; both deliberately seed from the run seed so the only
+// difference between them is the partitioning.
 func MIG(p Params) (*Result, error) {
 	r := newResult("mig", "MIG-style partitioning defense (Sec. VII)")
 
@@ -64,16 +67,21 @@ func MIG(p Params) (*Result, error) {
 		return idx >= 0, detail, nil
 	}
 
-	baseline, detail, err := attempt(0)
+	type migTrial struct {
+		aligned bool
+		detail  string
+	}
+	partitions := []int{0, 2}
+	outs, err := RunTrials(p, len(partitions), func(t Trial) (migTrial, error) {
+		aligned, detail, err := attempt(partitions[t.Index])
+		return migTrial{aligned: aligned, detail: detail}, err
+	})
 	if err != nil {
 		return nil, err
 	}
-	r.addf("stock DGX-1:        alignment found a colliding set pair: %v (%s)", baseline, detail)
-	mig, detail, err := attempt(2)
-	if err != nil {
-		return nil, err
-	}
-	r.addf("2 MIG partitions:   alignment found a colliding set pair: %v (%s)", mig, detail)
+	baseline, mig := outs[0].aligned, outs[1].aligned
+	r.addf("stock DGX-1:        alignment found a colliding set pair: %v (%s)", baseline, outs[0].detail)
+	r.addf("2 MIG partitions:   alignment found a colliding set pair: %v (%s)", mig, outs[1].detail)
 	r.addf("")
 	r.addf("with per-tenant L2/memory partitions the spy's eviction sets and the trojan's")
 	r.addf("never share a physical set, so the Prime+Probe channel cannot be established —")
@@ -92,50 +100,65 @@ func MIG(p Params) (*Result, error) {
 // Pairs sweeps every ordered GPU pair of the DGX-1: for connected
 // pairs it measures the remote hit/miss levels (which the paper found
 // uniform across single-hop peers); for unconnected pairs it confirms
-// the runtime refuses peer access.
+// the runtime refuses peer access. Trial-decomposed: one trial per
+// ordered pair, each probing a freshly built machine. Every trial
+// seeds its machine from the run seed, not the trial seed, so the
+// cross-pair level spread measures topology, not per-machine jitter.
 func Pairs(p Params) (*Result, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	type pairTrial struct {
+		connected      bool
+		hitMean, missM float64
+	}
+	// Ordered pairs (a, b), a != b, in row-major order.
+	nGPUs := nvlink.DGX1().NumGPUs()
+	nPairs := nGPUs * (nGPUs - 1)
+	outs, err := RunTrials(p, nPairs, func(t Trial) (pairTrial, error) {
+		a := arch.DeviceID(t.Index / (nGPUs - 1))
+		rem := t.Index % (nGPUs - 1)
+		b := arch.DeviceID(rem)
+		if b >= a {
+			b++
+		}
+		m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+		proc, err := cudart.NewProcess(m, a, p.Seed^uint64(a*16+b))
+		if err != nil {
+			return pairTrial{}, err
+		}
+		if err := proc.EnablePeerAccess(b); err != nil {
+			return pairTrial{connected: false}, nil
+		}
+		buf, err := proc.MallocOnDevice(b, 8*arch.PageSize)
+		if err != nil {
+			return pairTrial{}, err
+		}
+		var hits, misses []float64
+		err = proc.Launch("pairprobe", 0, func(k *cudart.Kernel) {
+			for i := 0; i < 8; i++ {
+				va := buf + arch.VA(i*arch.PageSize)
+				misses = append(misses, float64(k.TouchCG(va)))
+				hits = append(hits, float64(k.TouchCG(va)))
+			}
+		})
+		if err != nil {
+			return pairTrial{}, err
+		}
+		m.Run()
+		return pairTrial{connected: true, hitMean: stats.Mean(hits), missM: stats.Mean(misses)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	r := newResult("pairs", "Cross-GPU timing across every NVLink pair")
 	var hitMeans, missMeans []float64
 	connected, refused := 0, 0
-
-	for a := arch.DeviceID(0); int(a) < m.NumGPUs(); a++ {
-		for b := arch.DeviceID(0); int(b) < m.NumGPUs(); b++ {
-			if a == b {
-				continue
-			}
-			proc, err := cudart.NewProcess(m, a, p.Seed^uint64(a*16+b))
-			if err != nil {
-				return nil, err
-			}
-			if err := proc.EnablePeerAccess(b); err != nil {
-				refused++
-				continue
-			}
-			connected++
-			buf, err := proc.MallocOnDevice(b, 8*arch.PageSize)
-			if err != nil {
-				return nil, err
-			}
-			var hits, misses []float64
-			err = proc.Launch("pairprobe", 0, func(k *cudart.Kernel) {
-				for i := 0; i < 8; i++ {
-					va := buf + arch.VA(i*arch.PageSize)
-					misses = append(misses, float64(k.TouchCG(va)))
-					hits = append(hits, float64(k.TouchCG(va)))
-				}
-			})
-			if err != nil {
-				return nil, err
-			}
-			m.Run()
-			hitMeans = append(hitMeans, stats.Mean(hits))
-			missMeans = append(missMeans, stats.Mean(misses))
-			// Free so 56 pairs don't accumulate frames.
-			if err := proc.Free(buf); err != nil {
-				return nil, err
-			}
+	for _, o := range outs {
+		if !o.connected {
+			refused++
+			continue
 		}
+		connected++
+		hitMeans = append(hitMeans, o.hitMean)
+		missMeans = append(missMeans, o.missM)
 	}
 	hs, ms := stats.Summarize(hitMeans), stats.Summarize(missMeans)
 	r.addf("connected ordered pairs: %d; peer access refused (no direct NVLink): %d", connected, refused)
@@ -154,85 +177,100 @@ func Pairs(p Params) (*Result, error) {
 // MultiGPU explores the scaling the paper names but leaves open:
 // spreading the spy side over additional GPUs. It compares a 4-set
 // single-spy channel, an 8-set single-spy channel, and an 8-set
-// channel split across two spy GPUs.
+// channel split across two spy GPUs. Trial-decomposed: one trial per
+// configuration, each rebuilding the same machine from the run seed so
+// the configurations stay directly comparable.
 func MultiGPU(p Params) (*Result, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
-	prof, err := core.CharacterizeTiming(m, trojanGPU, spyGPU, 48, p.Seed^0xfeed)
-	if err != nil {
-		return nil, err
+	type mgCfg struct {
+		name     string
+		twoSpies bool
+		spy1Sets int // how many of spy1's aligned pairs the config uses
 	}
-	pages := discoveryPages(p.Scale)
-	trojan, err := core.NewAttacker(m, trojanGPU, trojanGPU, pages, prof.Thresholds, p.Seed^0x1)
-	if err != nil {
-		return nil, err
+	configs := []mgCfg{
+		{"1 spy GPU, 4 sets", false, 4},
+		{"1 spy GPU, 8 sets", false, 8},
+		{"2 spy GPUs, 4+4 sets", true, 4},
 	}
-	tg, err := trojan.DiscoverPageGroups(arch.L2Ways)
-	if err != nil {
-		return nil, err
+	type mgTrial struct {
+		bw, errRate float64
 	}
-	tSets := trojan.AllEvictionSets(tg, arch.L2Ways)
-
-	newSpy := func(dev arch.DeviceID, seed uint64) (*core.Attacker, []core.EvictionSet, error) {
-		spy, err := core.NewAttacker(m, dev, trojanGPU, pages, prof.Thresholds, seed)
+	outs, err := RunTrials(p, len(configs), func(t Trial) (mgTrial, error) {
+		c := configs[t.Index]
+		m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+		prof, err := core.CharacterizeTiming(m, trojanGPU, spyGPU, 48, p.Seed^0xfeed)
 		if err != nil {
-			return nil, nil, err
+			return mgTrial{}, err
 		}
-		sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+		pages := discoveryPages(p.Scale)
+		trojan, err := core.NewAttacker(m, trojanGPU, trojanGPU, pages, prof.Thresholds, p.Seed^0x1)
 		if err != nil {
-			return nil, nil, err
+			return mgTrial{}, err
 		}
-		return spy, spy.AllEvictionSets(sg, arch.L2Ways), nil
-	}
-	// Spies on GPU1 and GPU2: both in GPU0's fully connected quad.
-	spy1, s1Sets, err := newSpy(1, p.Seed^0x2)
-	if err != nil {
-		return nil, err
-	}
-	spy2, s2Sets, err := newSpy(2, p.Seed^0x3)
-	if err != nil {
-		return nil, err
-	}
-	pairs1, err := core.AlignChannels(trojan, spy1, tSets[:8], s1Sets, 8)
-	if err != nil {
-		return nil, err
-	}
-	pairs2, err := core.AlignChannels(trojan, spy2, tSets[8:16], s2Sets, 4)
-	if err != nil {
-		return nil, err
-	}
+		tg, err := trojan.DiscoverPageGroups(arch.L2Ways)
+		if err != nil {
+			return mgTrial{}, err
+		}
+		tSets := trojan.AllEvictionSets(tg, arch.L2Ways)
 
-	msgRNG := xrand.New(p.Seed ^ 0xd0)
-	msg := make([]byte, secVIMessageBytes(p.Scale)*2)
-	for i := range msg {
-		msg[i] = byte(msgRNG.Uint64())
-	}
-	measure := func(branches []core.Branch) (bw, errRate float64, err error) {
+		newSpy := func(dev arch.DeviceID, seed uint64) (*core.Attacker, []core.EvictionSet, error) {
+			spy, err := core.NewAttacker(m, dev, trojanGPU, pages, prof.Thresholds, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+			if err != nil {
+				return nil, nil, err
+			}
+			return spy, spy.AllEvictionSets(sg, arch.L2Ways), nil
+		}
+		// Spies on GPU1 and GPU2: both in GPU0's fully connected quad.
+		spy1, s1Sets, err := newSpy(1, p.Seed^0x2)
+		if err != nil {
+			return mgTrial{}, err
+		}
+		// Align only as many pairs as this configuration uses;
+		// alignment walks trojan sets in order, so the first k pairs
+		// match a longer alignment's prefix.
+		pairs1, err := core.AlignChannels(trojan, spy1, tSets[:8], s1Sets, c.spy1Sets)
+		if err != nil {
+			return mgTrial{}, err
+		}
+		branches := []core.Branch{{Spy: spy1, Pairs: pairs1}}
+		if c.twoSpies {
+			spy2, s2Sets, err := newSpy(2, p.Seed^0x3)
+			if err != nil {
+				return mgTrial{}, err
+			}
+			pairs2, err := core.AlignChannels(trojan, spy2, tSets[8:16], s2Sets, 4)
+			if err != nil {
+				return mgTrial{}, err
+			}
+			branches = append(branches, core.Branch{Spy: spy2, Pairs: pairs2})
+		}
+
+		msgRNG := xrand.New(p.Seed ^ 0xd0)
+		msg := make([]byte, secVIMessageBytes(p.Scale)*2)
+		for i := range msg {
+			msg[i] = byte(msgRNG.Uint64())
+		}
 		mc, err := core.NewMultiChannel(trojan, branches, core.DefaultCovertConfig())
 		if err != nil {
-			return 0, 0, err
+			return mgTrial{}, err
 		}
 		tx, err := mc.Transmit(msg)
 		if err != nil {
-			return 0, 0, err
+			return mgTrial{}, err
 		}
-		return tx.BandwidthMBps(), tx.ErrorRate() * 100, nil
+		return mgTrial{bw: tx.BandwidthMBps(), errRate: tx.ErrorRate() * 100}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	r := newResult("multigpu", "Covert channel over additional spy GPUs (extension)")
 	r.addf("%-28s %-16s %s", "configuration", "bandwidth MB/s", "error %")
-	type cfg struct {
-		name     string
-		branches []core.Branch
-	}
-	for _, c := range []cfg{
-		{"1 spy GPU, 4 sets", []core.Branch{{Spy: spy1, Pairs: pairs1[:4]}}},
-		{"1 spy GPU, 8 sets", []core.Branch{{Spy: spy1, Pairs: pairs1}}},
-		{"2 spy GPUs, 4+4 sets", []core.Branch{{Spy: spy1, Pairs: pairs1[:4]}, {Spy: spy2, Pairs: pairs2}}},
-	} {
-		bw, er, err := measure(c.branches)
-		if err != nil {
-			return nil, err
-		}
+	for i, c := range configs {
+		bw, er := outs[i].bw, outs[i].errRate
 		r.addf("%-28s %-16.4f %.2f", c.name, bw, er)
 		key := c.name[:1] + "_" + c.name[len(c.name)-8:]
 		r.Metrics["bw_"+key] = bw

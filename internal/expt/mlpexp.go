@@ -47,28 +47,42 @@ func recordMLPGram(m *sim.Machine, spy *core.Attacker, sets []core.EvictionSet, 
 	return gram, res, err
 }
 
+// mlpMeasure is the shared trial body for the MLP experiments: build
+// a machine and spy from the trial seed, train one MLP victim with
+// hidden width h under the monitor, and return the memorygram and
+// monitor result.
+func mlpMeasure(tp Params, h int) (*memgram.Gram, *core.MonitorResult, error) {
+	m := sim.MustNewMachine(sim.Options{Seed: tp.Seed})
+	numSets, epochCap, base := mlpDims(tp.Scale)
+	spy, spySets, err := setupSpy(m, tp, discoveryPages(tp.Scale))
+	if err != nil {
+		return nil, nil, err
+	}
+	monitored := spreadSets(spySets, numSets)
+	cfg := base
+	cfg.Hidden = h
+	v, err := victim.NewMLPVictim(m, trojanGPU, tp.Seed^uint64(h), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer freeVictim(v)
+	return recordMLPGram(m, spy, monitored, epochCap, v)
+}
+
 // Fig13 reproduces the per-set miss histograms for the four hidden
-// sizes: miss intensity grows with the hidden layer.
+// sizes: miss intensity grows with the hidden layer. Trial-decomposed:
+// one trial (machine + spy + victim) per hidden size.
 func Fig13(p Params) (*Result, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
-	numSets, epochCap, base := mlpDims(p.Scale)
-	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
+	grams, err := RunTrials(p, len(mlpHiddenSizes), func(t Trial) (*memgram.Gram, error) {
+		gram, _, err := mlpMeasure(t.Params, mlpHiddenSizes[t.Index])
+		return gram, err
+	})
 	if err != nil {
 		return nil, err
 	}
-	monitored := spreadSets(spySets, numSets)
 	r := newResult("fig13", "Cache misses per set for MLP victims")
-	for _, h := range mlpHiddenSizes {
-		cfg := base
-		cfg.Hidden = h
-		v, err := victim.NewMLPVictim(m, trojanGPU, p.Seed^uint64(h), cfg)
-		if err != nil {
-			return nil, err
-		}
-		gram, _, err := recordMLPGram(m, spy, monitored, epochCap, v)
-		if err != nil {
-			return nil, err
-		}
+	for i, h := range mlpHiddenSizes {
+		gram := grams[i]
 		totals := gram.SetTotals()
 		fs := make([]float64, len(totals))
 		for i, t := range totals {
@@ -79,7 +93,6 @@ func Fig13(p Params) (*Result, error) {
 		r.addf("hidden=%4d: total misses %7d, median per set %4.0f, max %4.0f",
 			h, gram.Total(), med, fs[len(fs)-1])
 		r.Metrics[fmt.Sprintf("total_misses_h%d", h)] = float64(gram.Total())
-		freeVictim(v)
 	}
 	r.addf("miss intensity increases with hidden width, as in the paper's histograms.")
 	return r, nil
@@ -95,42 +108,29 @@ func freeVictim(v *victim.MLPVictim) {
 // TableII reproduces the average-misses-over-all-sets table and the
 // model-extraction decision: the attacker infers the hidden width by
 // nearest-neighbour against a reference profile built offline.
+// Trial-decomposed: the four reference measurements and the four
+// extraction measurements are eight independent trials.
 func TableII(p Params) (*Result, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
-	numSets, epochCap, base := mlpDims(p.Scale)
-	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
-	if err != nil {
-		return nil, err
-	}
-	monitored := spreadSets(spySets, numSets)
-
 	paperAvg := map[int]float64{64: 5653, 128: 6846, 256: 8744, 512: 10197}
-	measure := func(h int, seed uint64) (float64, error) {
-		cfg := base
-		cfg.Hidden = h
-		v, err := victim.NewMLPVictim(m, trojanGPU, seed, cfg)
-		if err != nil {
-			return 0, err
-		}
-		defer freeVictim(v)
-		_, res, err := recordMLPGram(m, spy, monitored, epochCap, v)
+	nRef := len(mlpHiddenSizes)
+	avgsOut, err := RunTrials(p, 2*nRef, func(t Trial) (float64, error) {
+		_, res, err := mlpMeasure(t.Params, mlpHiddenSizes[t.Index%nRef])
 		if err != nil {
 			return 0, err
 		}
 		return res.AvgMissesPerSet(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	r := newResult("table2", "Average misses over all cache sets")
 	r.addf("%-18s %-22s %s", "Number of Neurons", "Measured Avg Misses", "Paper Avg Misses")
 	reference := map[int]float64{}
-	avgs := make([]float64, 0, len(mlpHiddenSizes))
-	for _, h := range mlpHiddenSizes {
-		avg, err := measure(h, p.Seed^uint64(h))
-		if err != nil {
-			return nil, err
-		}
+	avgs := avgsOut[:nRef]
+	for i, h := range mlpHiddenSizes {
+		avg := avgs[i]
 		reference[h] = avg
-		avgs = append(avgs, avg)
 		r.addf("%-18d %-22.1f %.0f", h, avg, paperAvg[h])
 		r.Metrics[fmt.Sprintf("avg_misses_h%d", h)] = avg
 	}
@@ -142,14 +142,11 @@ func TableII(p Params) (*Result, error) {
 	}
 	r.Metrics["monotone_in_hidden"] = monotone
 
-	// Model extraction: fresh victims with unknown H, classified by
-	// nearest reference average.
+	// Model extraction: fresh victims with unknown H (trials nRef..),
+	// classified by nearest reference average.
 	correct := 0
 	for i, h := range mlpHiddenSizes {
-		obs, err := measure(h, p.Seed^uint64(0x9999+i))
-		if err != nil {
-			return nil, err
-		}
+		obs := avgsOut[nRef+i]
 		best, bestD := 0, -1.0
 		for _, cand := range mlpHiddenSizes {
 			d := obs - reference[cand]

@@ -1,0 +1,139 @@
+// The trial runner: experiments decompose into independent trials
+// (one simulated Machine each), the runner fans them out over a
+// bounded worker pool, and results are merged in trial order. Because
+// every trial's seed is derived only from (run seed, trial index) and
+// merging ignores completion order, a run is bit-identical at any
+// parallelism level — `-parallel 1` and `-parallel 8` produce the same
+// reports, metrics, and artifacts. EXPERIMENTS.md lists which
+// experiments are trial-decomposed and at what granularity.
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spybox/internal/xrand"
+)
+
+// Trial identifies one unit of runner work: its index within the
+// experiment and the Params the trial body should run with. The
+// embedded Params carry the trial's derived seed and always have
+// Parallel == 1, so a trial can never recursively fan out.
+type Trial struct {
+	Index  int
+	Params Params
+}
+
+// TrialSeed derives the seed for a trial from the run seed: trial i
+// gets the ith output of the splitmix64 stream seeded with the run
+// seed. Well-mixed, collision-free across indices, and a pure
+// function of (seed, trial) — the property that makes parallel and
+// serial runs identical.
+func TrialSeed(seed uint64, trial int) uint64 {
+	return xrand.SplitMix64At(seed, uint64(trial))
+}
+
+// parallelism resolves the effective worker count: Params.Parallel
+// when positive, otherwise every available core.
+func (p Params) parallelism() int {
+	if p.Parallel > 0 {
+		return p.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunTrials executes n independent trials over a worker pool of
+// p.parallelism() goroutines and returns the outputs in trial order.
+// Each trial receives Params with its TrialSeed-derived seed. On
+// failure the error of the lowest-indexed failing trial is returned —
+// the same one a serial run would have stopped at.
+func RunTrials[T any](p Params, n int, run func(t Trial) (T, error)) ([]T, error) {
+	return runPool(p.parallelism(), n, func(i int) (T, error) {
+		tp := p
+		tp.Seed = TrialSeed(p.Seed, i)
+		tp.Parallel = 1
+		return run(Trial{Index: i, Params: tp})
+	})
+}
+
+// OneTrial adapts a monolithic single-shot experiment body to the
+// trial API: one inline trial carrying the run's own seed (no
+// derivation), so existing single-shot experiments keep their exact
+// historical outputs — including their errors, which gain no
+// "trial 0" framing because there are no trials to speak of.
+func OneTrial(body func(Params) (*Result, error)) func(Params) (*Result, error) {
+	return func(p Params) (*Result, error) {
+		return body(p)
+	}
+}
+
+// runPool is the bounded fan-out shared by RunTrials and OneTrial:
+// `workers` goroutines claim indices 0..n-1 in order and write results
+// into an index-addressed slice, which is what makes the merge step
+// order-independent of scheduling.
+func runPool[T any](workers, n int, run func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := run(i)
+			if err != nil {
+				return nil, fmt.Errorf("trial %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next      atomic.Int64
+		lowestErr atomic.Int64 // lowest failing index seen so far
+		mu        sync.Mutex
+		errTrial  = n
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	next.Store(-1)
+	lowestErr.Store(int64(n))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				// Skip trials above the lowest failure seen so far:
+				// their results would be discarded anyway. lowestErr
+				// only decreases, so every skipped index stays above
+				// the final errTrial — trials at or below it all run,
+				// and the lowest-indexed error (the one a serial run
+				// stops at) still wins.
+				if int64(i) > lowestErr.Load() {
+					continue
+				}
+				v, err := run(i)
+				if err != nil {
+					mu.Lock()
+					if i < errTrial {
+						errTrial, firstErr = i, err
+					}
+					lowestErr.Store(int64(errTrial))
+					mu.Unlock()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("trial %d: %w", errTrial, firstErr)
+	}
+	return out, nil
+}

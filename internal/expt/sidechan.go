@@ -81,25 +81,31 @@ func recordGram(m *sim.Machine, spy *core.Attacker, sets []core.EvictionSet, epo
 }
 
 // Fig11 records one memorygram per victim application and renders
-// them, reproducing the six-panel figure.
+// them, reproducing the six-panel figure. Trial-decomposed: one trial
+// per victim application, each recorded on its own machine by its own
+// spy (also avoiding cross-application cache pollution).
 func Fig11(p Params) (*Result, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
 	numSets, epochs, vcfg := fingerprintDims(p.Scale)
-	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
+	grams, err := RunTrials(p, len(victim.AppNames), func(t Trial) (*memgram.Gram, error) {
+		m := sim.MustNewMachine(sim.Options{Seed: t.Params.Seed})
+		spy, spySets, err := setupSpy(m, t.Params, discoveryPages(p.Scale))
+		if err != nil {
+			return nil, err
+		}
+		monitored := spreadSets(spySets, numSets)
+		name := victim.AppNames[t.Index]
+		app, err := victim.NewApp(name, m, trojanGPU, t.Params.Seed^0x100, vcfg)
+		if err != nil {
+			return nil, err
+		}
+		return recordGram(m, spy, monitored, epochs, app)
+	})
 	if err != nil {
 		return nil, err
 	}
-	monitored := spreadSets(spySets, numSets)
 	r := newResult("fig11", "Memorygram of 6 applications")
 	for i, name := range victim.AppNames {
-		app, err := victim.NewApp(name, m, trojanGPU, p.Seed^uint64(0x100+i), vcfg)
-		if err != nil {
-			return nil, err
-		}
-		gram, err := recordGram(m, spy, monitored, epochs, app)
-		if err != nil {
-			return nil, err
-		}
+		gram := grams[i]
 		r.addf("%s", gram.RenderASCII(64, 16))
 		r.Metrics["total_misses_"+name] = float64(gram.Total())
 		r.attachPGM("fig11_"+name, gram)
@@ -112,19 +118,22 @@ func Fig11(p Params) (*Result, error) {
 // samples for every application, train the classifier, and report the
 // confusion matrix and accuracy.
 func Fig12(p Params) (*Result, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
 	numSets, epochs, vcfg := fingerprintDims(p.Scale)
 	perClass := fingerprintSamples(p.Scale)
-	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
-	if err != nil {
-		return nil, err
-	}
-	monitored := spreadSets(spySets, numSets)
-
-	var samples []classify.Sample
-	for class, name := range victim.AppNames {
+	// One trial per class: each collects its class's sample set on its
+	// own machine with its own spy, so classes fan out across cores.
+	perClassSamples, err := RunTrials(p, len(victim.AppNames), func(t Trial) ([]classify.Sample, error) {
+		m := sim.MustNewMachine(sim.Options{Seed: t.Params.Seed})
+		spy, spySets, err := setupSpy(m, t.Params, discoveryPages(p.Scale))
+		if err != nil {
+			return nil, err
+		}
+		monitored := spreadSets(spySets, numSets)
+		class := t.Index
+		name := victim.AppNames[class]
+		out := make([]classify.Sample, 0, perClass)
 		for s := 0; s < perClass; s++ {
-			app, err := victim.NewApp(name, m, trojanGPU, p.Seed^uint64(class*1000+s*7+13), vcfg)
+			app, err := victim.NewApp(name, m, trojanGPU, t.Params.Seed^uint64(s*7+13), vcfg)
 			if err != nil {
 				return nil, err
 			}
@@ -132,7 +141,7 @@ func Fig12(p Params) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			samples = append(samples, classify.Sample{X: gramFeatures(gram), Y: class})
+			out = append(out, classify.Sample{X: gramFeatures(gram), Y: class})
 			// Return the victim's frames so hundreds of samples don't
 			// exhaust simulated HBM.
 			for _, al := range app.Proc.Space().Allocs() {
@@ -141,6 +150,14 @@ func Fig12(p Params) (*Result, error) {
 				}
 			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var samples []classify.Sample
+	for _, cs := range perClassSamples {
+		samples = append(samples, cs...)
 	}
 	rng := xrand.New(p.Seed ^ 0xfca)
 	train, val, test := classify.Split(samples, 0.5, 0.17, rng)

@@ -11,6 +11,13 @@
 // simulation is fully serialized and deterministic: identical seeds
 // give identical cycle-for-cycle runs, including all timing jitter.
 //
+// Scheduling is O(log n) per event: parked workers sit in an indexed
+// min-heap keyed by (clock, id) — see sched.go — and every wakeup is a
+// targeted Signal to a single goroutine. The engine goroutine is woken
+// exactly once per scheduling round, by the last worker to park; each
+// resumed worker is woken through its own condition variable. No
+// broadcast is ever needed.
+//
 // This mirrors how the attacks see the machine: each thread block has
 // its own clock() domain, while the L2s, HBM and NVLink are globally
 // shared and ordered.
@@ -18,7 +25,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 )
 
@@ -31,17 +37,21 @@ const (
 
 // engine serializes workers by simulated time.
 type engine struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	workers map[int]*Worker
-	running int // workers currently executing user code
-	nextID  int
-	eventNo uint64
+	mu sync.Mutex
+	// hostCond wakes the engine goroutine in runAll. Its only waiter
+	// is the host, so workers Signal it (never Broadcast), and only
+	// when they are the last runner to park or finish.
+	hostCond *sync.Cond
+	workers  map[int]*Worker
+	parked   parkedHeap
+	running  int // workers currently executing user code
+	nextID   int
+	eventNo  uint64
 }
 
 func newEngine() *engine {
 	e := &engine{workers: make(map[int]*Worker)}
-	e.cond = sync.NewCond(&e.mu)
+	e.hostCond = sync.NewCond(&e.mu)
 	return e
 }
 
@@ -51,6 +61,7 @@ func (e *engine) register(w *Worker, body func(*Worker)) {
 	w.id = e.nextID
 	e.nextID++
 	w.state = stateRunning
+	w.heapIdx = noHeapIdx
 	e.workers[w.id] = w
 	e.running++
 	e.mu.Unlock()
@@ -61,7 +72,9 @@ func (e *engine) register(w *Worker, body func(*Worker)) {
 			w.state = stateDone
 			delete(e.workers, w.id)
 			e.running--
-			e.cond.Broadcast()
+			if e.running == 0 {
+				e.hostCond.Signal()
+			}
 			e.mu.Unlock()
 		}()
 		// A freshly registered worker must not touch shared state
@@ -73,14 +86,18 @@ func (e *engine) register(w *Worker, body func(*Worker)) {
 }
 
 // yield parks the worker with a pending request and blocks until the
-// engine has serviced it.
+// engine has serviced it. The last runner to park hands control to the
+// engine with a single targeted signal.
 func (w *Worker) yield(req *request) {
 	e := w.eng
 	e.mu.Lock()
 	w.pending = req
 	w.state = stateParked
+	e.parked.push(w)
 	e.running--
-	e.cond.Broadcast()
+	if e.running == 0 {
+		e.hostCond.Signal()
+	}
 	for w.state == stateParked {
 		w.cond.Wait()
 	}
@@ -94,13 +111,16 @@ func (e *engine) runAll(service func(*Worker, *request)) {
 	for {
 		// Wait until every live worker is parked.
 		for e.running > 0 {
-			e.cond.Wait()
+			e.hostCond.Wait()
 		}
 		if len(e.workers) == 0 {
 			e.mu.Unlock()
 			return
 		}
-		w := e.pickMinClockLocked()
+		w := e.parked.popMin()
+		if w == nil {
+			panic(fmt.Sprintf("sim: scheduler invariant violated: %d workers, none parked", len(e.workers)))
+		}
 		req := w.pending
 		w.pending = nil
 		e.eventNo++
@@ -115,28 +135,4 @@ func (e *engine) runAll(service func(*Worker, *request)) {
 		// Wait for this worker to park again (or finish) before
 		// considering the next event, preserving total order.
 	}
-}
-
-// pickMinClockLocked selects the parked worker with the smallest
-// (clock, id) pair. The engine lock must be held.
-func (e *engine) pickMinClockLocked() *Worker {
-	ids := make([]int, 0, len(e.workers))
-	for id := range e.workers {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	var best *Worker
-	for _, id := range ids {
-		w := e.workers[id]
-		if w.state != stateParked {
-			continue
-		}
-		if best == nil || w.clock < best.clock {
-			best = w
-		}
-	}
-	if best == nil {
-		panic(fmt.Sprintf("sim: scheduler invariant violated: %d workers, none parked", len(e.workers)))
-	}
-	return best
 }

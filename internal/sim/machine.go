@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"spybox/internal/arch"
 	"spybox/internal/gpu"
@@ -58,6 +59,9 @@ type Machine struct {
 	lastTouch [arch.NumGPUs]map[int]uint64
 
 	runMu sync.Mutex
+
+	// pidCtr allocates process IDs for this machine (see AllocPID).
+	pidCtr atomic.Int64
 }
 
 // contentionWindow is how many engine events back a worker still
@@ -128,6 +132,15 @@ func (m *Machine) Phys() *vmem.PhysMem { return m.phys }
 // Root returns the machine's root RNG; Split it for per-component
 // streams rather than drawing from it directly.
 func (m *Machine) Root() *xrand.Source { return m.root }
+
+// AllocPID hands out this machine's next process ID. Atomic: trial
+// workers build processes on distinct machines, but nothing stops two
+// processes being created on one machine from different goroutines,
+// and tying the counter to the machine (rather than a package-level
+// map keyed by it) also lets finished machines be collected.
+func (m *Machine) AllocPID() arch.ProcessID {
+	return arch.ProcessID(m.pidCtr.Add(1) - 1)
+}
 
 // EnablePeer lets GPU src read memory homed on dst. Mirrors
 // cudaDeviceEnablePeerAccess: it fails unless a direct NVLink
@@ -213,14 +226,15 @@ type request struct {
 
 // Worker is one simulated thread block's execution context.
 type Worker struct {
-	eng   *engine
-	m     *Machine
-	cond  *sync.Cond
-	id    int
-	name  string
-	dev   arch.DeviceID
-	clock arch.Cycles
-	state int
+	eng     *engine
+	m       *Machine
+	cond    *sync.Cond
+	id      int
+	name    string
+	dev     arch.DeviceID
+	clock   arch.Cycles
+	state   int
+	heapIdx int // position in the engine's parked heap, or noHeapIdx
 
 	pending *request
 	res     *gpu.BlockReservation

@@ -1,0 +1,96 @@
+// The parked-worker scheduler queue: an indexed binary min-heap keyed
+// by (clock, id). Every simulated L2/HBM access parks its worker once,
+// so push/pop here is the hottest path in the whole simulator; the
+// heap replaces an older per-event sort of all worker IDs, taking the
+// scheduling step from O(n log n) with an allocation per event to an
+// allocation-free O(log n).
+package sim
+
+// parkedHeap orders parked workers by (clock, id), the same total
+// order the engine has always serviced events in: smallest local clock
+// first, ties broken by the lower worker ID. Each worker caches its
+// heap position in heapIdx, making membership checks and future
+// reposition operations O(1) to locate.
+type parkedHeap struct {
+	ws []*Worker
+}
+
+// noHeapIdx marks a worker that is not currently in the heap.
+const noHeapIdx = -1
+
+func (h *parkedHeap) len() int { return len(h.ws) }
+
+func (h *parkedHeap) less(i, j int) bool {
+	a, b := h.ws[i], h.ws[j]
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+func (h *parkedHeap) swap(i, j int) {
+	h.ws[i], h.ws[j] = h.ws[j], h.ws[i]
+	h.ws[i].heapIdx = i
+	h.ws[j].heapIdx = j
+}
+
+// push adds a freshly parked worker. The index doubles as a cheap
+// scheduler invariant: a worker must never be parked twice without
+// being serviced in between.
+func (h *parkedHeap) push(w *Worker) {
+	if w.heapIdx != noHeapIdx {
+		panic("sim: worker parked while already in the scheduler heap")
+	}
+	w.heapIdx = len(h.ws)
+	h.ws = append(h.ws, w)
+	h.up(w.heapIdx)
+}
+
+// popMin removes and returns the (clock, id)-minimal parked worker.
+// Returns nil on an empty heap; the engine treats that as an invariant
+// violation.
+func (h *parkedHeap) popMin() *Worker {
+	if len(h.ws) == 0 {
+		return nil
+	}
+	min := h.ws[0]
+	last := len(h.ws) - 1
+	h.swap(0, last)
+	h.ws[last] = nil // release the reference for GC
+	h.ws = h.ws[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	min.heapIdx = noHeapIdx
+	return min
+}
+
+func (h *parkedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *parkedHeap) down(i int) {
+	n := len(h.ws)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.less(l, least) {
+			least = l
+		}
+		if r < n && h.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}

@@ -30,6 +30,15 @@ func splitmix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// SplitMix64At returns the nth output (n = 0 first) of the splitmix64
+// stream seeded with seed, without materializing the stream. Exported
+// so seed-derivation elsewhere (the experiment trial runner) uses the
+// exact generator and constants this package seeds Sources with.
+func SplitMix64At(seed uint64, n uint64) uint64 {
+	st := seed + n*0x9e3779b97f4a7c15
+	return splitmix64(&st)
+}
+
 // New returns a Source seeded from the given seed. Distinct seeds give
 // independent streams.
 func New(seed uint64) *Source {
