@@ -1,10 +1,10 @@
-// Command spybox regenerates the paper's tables and figures on the
-// simulated DGX-1.
+// Command spybox regenerates the paper's tables and figures on a
+// simulated multi-GPU box (the paper's DGX-1 by default; see -arch).
 //
 // Usage:
 //
 //	spybox list
-//	spybox run <id>[,<id>...]|all [-seed N] [-scale small|default|paper] [-parallel N] [-out DIR]
+//	spybox run <id>[,<id>...]|all [-seed N] [-scale small|default|paper] [-arch PROFILE] [-parallel N] [-out DIR]
 //
 // Each experiment prints its report to stdout with its wall time; with
 // -out, chart data is also written as CSV into DIR. See README.md in
@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"spybox/internal/arch"
 	"spybox/internal/expt"
 	"spybox/internal/plot"
 )
@@ -49,7 +50,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   spybox list
-  spybox run <id>[,<id>...]|all [-seed N] [-scale small|default|paper] [-parallel N] [-out DIR]`)
+  spybox run <id>[,<id>...]|all [-seed N] [-scale small|default|paper] [-arch PROFILE] [-parallel N] [-out DIR]`)
 }
 
 // selectExperiments resolves a comma-separated ID list (or "all") to
@@ -85,6 +86,8 @@ func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seed := fs.Uint64("seed", 20230612, "experiment seed (results are deterministic per seed)")
 	scaleStr := fs.String("scale", "default", "experiment scale: small, default, or paper")
+	archName := fs.String("arch", "", "architecture profile to simulate: "+strings.Join(arch.ProfileNames(), ", ")+
+		" (default p100-dgx1, the paper's machine)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker pool size for trial-decomposed experiments (results are identical at any value)")
 	outDir := fs.String("out", "", "directory for CSV chart data (optional)")
@@ -102,7 +105,10 @@ func runCmd(args []string) error {
 	if *parallel < 1 {
 		return fmt.Errorf("run: -parallel must be >= 1 (got %d)", *parallel)
 	}
-	params := expt.Params{Seed: *seed, Scale: scale, Parallel: *parallel}
+	params := expt.Params{Seed: *seed, Scale: scale, Parallel: *parallel, Arch: *archName}
+	if _, err := params.ArchProfile(); err != nil {
+		return err
+	}
 
 	todo, err := selectExperiments(ids)
 	if err != nil {
@@ -160,9 +166,14 @@ func writeCSV(dir string, res *expt.Result) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := plot.CSV(f, res.Series); err != nil {
+		f.Close()
 		return err
+	}
+	// A short write can surface only at close (full disk); swallowing
+	// it would print success over a truncated CSV.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	fmt.Printf("(chart data written to %s)\n\n", path)
 	return nil

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"log"
 
-	"spybox/internal/arch"
 	"spybox/internal/core"
 	"spybox/internal/sim"
 )
@@ -35,19 +34,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tg, err := trojan.DiscoverPageGroups(arch.L2Ways)
+	tg, err := trojan.DiscoverPageGroups(trojan.Ways())
 	if err != nil {
 		log.Fatal(err)
 	}
-	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	sg, err := spy.DiscoverPageGroups(spy.Ways())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("aligning %d cache-set channels across processes...\n", *numSets)
 	pairs, err := core.AlignChannels(trojan, spy,
-		trojan.AllEvictionSets(tg, arch.L2Ways),
-		spy.AllEvictionSets(sg, arch.L2Ways), *numSets)
+		trojan.AllEvictionSets(tg, trojan.Ways()),
+		spy.AllEvictionSets(sg, spy.Ways()), *numSets)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"log"
 
-	"spybox/internal/arch"
 	"spybox/internal/classify"
 	"spybox/internal/core"
 	"spybox/internal/memgram"
@@ -32,11 +31,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	sg, err := spy.DiscoverPageGroups(spy.Ways())
 	if err != nil {
 		log.Fatal(err)
 	}
-	all := spy.AllEvictionSets(sg, arch.L2Ways)
+	all := spy.AllEvictionSets(sg, spy.Ways())
 	monitored := make([]core.EvictionSet, 0, 128)
 	for i := 0; i < 128; i++ {
 		monitored = append(monitored, all[i*len(all)/128])

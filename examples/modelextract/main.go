@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"log"
 
-	"spybox/internal/arch"
 	"spybox/internal/core"
 	"spybox/internal/memgram"
 	"spybox/internal/sim"
@@ -30,11 +29,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	sg, err := spy.DiscoverPageGroups(spy.Ways())
 	if err != nil {
 		log.Fatal(err)
 	}
-	all := spy.AllEvictionSets(sg, arch.L2Ways)
+	all := spy.AllEvictionSets(sg, spy.Ways())
 	monitored := make([]core.EvictionSet, 0, 256)
 	for i := 0; i < 256; i++ {
 		monitored = append(monitored, all[i*len(all)/256])

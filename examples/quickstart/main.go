@@ -7,16 +7,17 @@ import (
 	"fmt"
 	"log"
 
-	"spybox/internal/arch"
 	"spybox/internal/core"
 	"spybox/internal/sim"
 )
 
 func main() {
-	// A DGX-1 box: eight P100s, NVLink hybrid cube-mesh.
+	// A DGX-1 box: eight P100s, NVLink hybrid cube-mesh. Pass another
+	// arch.Profile (V100DGX2, A100Class) to simulate a different box.
 	m := sim.MustNewMachine(sim.Options{Seed: 42})
+	mp := m.Profile()
 	fmt.Printf("machine: %d GPUs, L2 %d sets x %d ways x %d B lines\n",
-		m.NumGPUs(), arch.L2Sets, arch.L2Ways, arch.CacheLineSize)
+		m.NumGPUs(), mp.L2Sets, mp.L2Ways, mp.L2LineSize)
 
 	// Step 1: timing characterization (Fig. 4). One process on GPU0
 	// times local accesses; another on GPU1 times remote accesses to
@@ -34,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	groups, err := att.DiscoverPageGroups(arch.L2Ways)
+	groups, err := att.DiscoverPageGroups(att.Ways())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 	for i, g := range groups.Groups {
 		fmt.Printf("  group %d: %d pages\n", i, len(g))
 	}
-	sets := att.AllEvictionSets(groups, arch.L2Ways)
+	sets := att.AllEvictionSets(groups, att.Ways())
 	fmt.Printf("eviction sets covering %d unique cache sets\n", len(sets))
 
 	// Step 3: geometry inference (Table I).

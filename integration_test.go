@@ -9,7 +9,6 @@ import (
 	"strings"
 	"testing"
 
-	"spybox/internal/arch"
 	"spybox/internal/core"
 	"spybox/internal/expt"
 	"spybox/internal/sim"
@@ -32,17 +31,17 @@ func TestEndToEndCovertMessage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tg, err := trojan.DiscoverPageGroups(arch.L2Ways)
+	tg, err := trojan.DiscoverPageGroups(trojan.Ways())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	sg, err := spy.DiscoverPageGroups(spy.Ways())
 	if err != nil {
 		t.Fatal(err)
 	}
 	pairs, err := core.AlignChannels(trojan, spy,
-		trojan.AllEvictionSets(tg, arch.L2Ways),
-		spy.AllEvictionSets(sg, arch.L2Ways), 2)
+		trojan.AllEvictionSets(tg, trojan.Ways()),
+		spy.AllEvictionSets(sg, spy.Ways()), 2)
 	if err != nil {
 		t.Fatal(err)
 	}

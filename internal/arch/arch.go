@@ -30,8 +30,11 @@ type KernelID int
 // ProcessID identifies a process (a CUDA context owner).
 type ProcessID int
 
-// Fixed P100 / DGX-1 geometry, as reverse engineered by the paper
-// (Table I) and the DGX-1 white paper.
+// P100 / DGX-1 geometry, as reverse engineered by the paper (Table I)
+// and the DGX-1 white paper. These constants are the values of the
+// default p100-dgx1 profile (profile.go); machine-dependent code
+// should read geometry from its Profile (or the constructed cache
+// config) rather than from these.
 const (
 	// NumGPUs is the number of Tesla P100s in a DGX-1.
 	NumGPUs = 8
@@ -133,8 +136,10 @@ const (
 	ContentionSigmaPer = 14.0
 )
 
-// DeviceBits is the number of PA bits reserved for the device ID.
-const DeviceBits = 3
+// DeviceBits is the number of PA bits reserved for the device ID,
+// sized for MaxGPUs (profiles range from the 8-GPU DGX-1 to 16-GPU
+// NVSwitch boxes, with headroom).
+const DeviceBits = 6
 
 // deviceShift positions the device ID above the per-GPU offset space.
 const deviceShift = 30 // log2(HBMBytesPerGPU)
@@ -177,8 +182,9 @@ func (va VA) PageOffset() uint64 { return uint64(va) % PageSize }
 // FrameNumber returns the physical frame number (machine-wide).
 func (pa PA) FrameNumber() uint64 { return uint64(pa) / PageSize }
 
-// Seconds converts a cycle count to wall-clock seconds at the boost
-// clock.
+// Seconds converts a cycle count to wall-clock seconds at the P100
+// boost clock. Profile-aware code should use Profile.Seconds, which
+// applies the profile's own clock.
 func (c Cycles) Seconds() float64 { return float64(c) / ClockHz }
 
 // String renders cycles with a unit suffix for logs.
@@ -187,5 +193,8 @@ func (c Cycles) String() string { return fmt.Sprintf("%dcy", uint64(c)) }
 // String renders a device ID like "GPU3".
 func (d DeviceID) String() string { return fmt.Sprintf("GPU%d", int(d)) }
 
-// Valid reports whether the device ID names a GPU present in the box.
-func (d DeviceID) Valid() bool { return d >= 0 && int(d) < NumGPUs }
+// Valid reports whether the device ID can name a GPU in any supported
+// box (it fits the PA encoding). Whether the device actually exists
+// depends on the machine's profile; per-machine code checks against
+// the real GPU count.
+func (d DeviceID) Valid() bool { return d >= 0 && int(d) < MaxGPUs }

@@ -89,10 +89,13 @@ func TestStringers(t *testing.T) {
 }
 
 func TestDeviceValid(t *testing.T) {
-	if !DeviceID(0).Valid() || !DeviceID(7).Valid() {
+	// Valid bounds the PA encoding (MaxGPUs), not any one box: device
+	// 8 is invalid on the 8-GPU DGX-1 but real on a 16-GPU DGX-2, so
+	// per-box existence is checked against the machine's profile.
+	if !DeviceID(0).Valid() || !DeviceID(7).Valid() || !DeviceID(15).Valid() {
 		t.Error("valid devices rejected")
 	}
-	if DeviceID(-1).Valid() || DeviceID(8).Valid() {
+	if DeviceID(-1).Valid() || DeviceID(MaxGPUs).Valid() {
 		t.Error("invalid devices accepted")
 	}
 }

@@ -1,0 +1,266 @@
+// Architecture profiles: the knobs that distinguish one multi-GPU box
+// from another. The paper reverse engineers one machine (the Pascal
+// DGX-1, Table I); a Profile bundles everything that was previously a
+// package-level constant — L2 geometry, the calibrated latency model,
+// SM resources, GPU count, and the NVLink topology family — so the
+// same attacks can be swept across machine generations (the archsweep
+// experiment). P100DGX1() reproduces the historical constants exactly;
+// a machine built from it is byte-identical to the pre-profile code.
+package arch
+
+import "fmt"
+
+// TopologyKind names an NVLink fabric family. The concrete link graph
+// is built by internal/nvlink from (kind, GPU count).
+type TopologyKind int
+
+const (
+	// TopoDGX1 is the Pascal DGX-1 hybrid cube-mesh: two fully
+	// connected quads joined by four cube edges. Requires 8 GPUs.
+	TopoDGX1 TopologyKind = iota
+	// TopoAllToAll is an NVSwitch-style crossbar (DGX-2, DGX A100):
+	// every GPU reaches every other in one hop, so peer access never
+	// fails and the "unconnected pair" error class disappears.
+	TopoAllToAll
+)
+
+// String names the topology family for reports.
+func (k TopologyKind) String() string {
+	switch k {
+	case TopoDGX1:
+		return "cube-mesh"
+	case TopoAllToAll:
+		return "all-to-all"
+	default:
+		return fmt.Sprintf("topology(%d)", int(k))
+	}
+}
+
+// LatencyModel is the per-profile calibrated timing model. The
+// P100 values reproduce the paper's Fig. 4 clusters; other profiles
+// shift the cluster centers, which the attacks must (and do) re-learn
+// through CharacterizeTiming rather than assume.
+type LatencyModel struct {
+	L2Hit           Cycles // L2 hit observed from the home GPU
+	HBM             Cycles // additional cost of a miss serviced by DRAM
+	NVLinkHop       Cycles // round-trip cost per NVLink hop
+	RemoteMissExtra Cycles // extra serialization for remote misses
+	SharedMem       Cycles // shared-memory access
+	ClockRead       Cycles // cycle-counter read overhead
+	ALUOp           Cycles // one dummy arithmetic op
+	HeavyOp         Cycles // one heavy (trigonometric) dummy op
+	HitII           Cycles // issue interval between warp-parallel hits
+	MissII          Cycles // extra per-miss serialization in a probe
+
+	JitterSigma        float64 // baseline timing jitter stddev
+	ContentionSigmaPer float64 // added sigma per concurrent context
+
+	ClockHz uint64 // boost clock, for cycles -> seconds
+}
+
+// Profile is one machine configuration: a named GPU box the simulator
+// can build. The zero Profile is invalid; start from a named profile
+// and override fields as needed.
+type Profile struct {
+	Name string
+
+	// Box shape.
+	NumGPUs  int
+	Topology TopologyKind
+
+	// Per-GPU SM resources (the Sec. VI occupancy model).
+	NumSMs               int
+	SharedMemPerSM       int
+	MaxSharedMemPerBlock int
+	MaxBlocksPerSM       int
+
+	// L2 geometry (the Table I attack surface). The VM page size and
+	// per-GPU HBM window stay global (PageSize, HBMBytesPerGPU): all
+	// modelled generations use 64 KB GPU pages, and the HBM window is
+	// a simulator bound, not a hardware parameter.
+	L2Sets     int
+	L2Ways     int
+	L2LineSize int
+
+	Lat LatencyModel
+}
+
+// MaxGPUs bounds the device IDs any profile may use; it exists so the
+// PA encoding (DeviceBits above the 1 GB per-GPU offset window) has
+// headroom for every box we model, not to describe any real machine.
+// Tying it to DeviceBits keeps the two from drifting apart.
+const MaxGPUs = 1 << DeviceBits
+
+// L2SizeBytes returns the L2 capacity implied by the geometry.
+func (p Profile) L2SizeBytes() int { return p.L2Sets * p.L2Ways * p.L2LineSize }
+
+// L2LinesPerPage returns how many L2 lines one VM page spans.
+func (p Profile) L2LinesPerPage() int { return PageSize / p.L2LineSize }
+
+// HashRegions returns how many page-sized index regions the L2 holds —
+// the number of conflict groups eviction-set discovery must find.
+func (p Profile) HashRegions() int {
+	r := p.L2Sets / p.L2LinesPerPage()
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Seconds converts a cycle count to wall-clock seconds at this
+// profile's boost clock.
+func (p Profile) Seconds(c Cycles) float64 { return float64(c) / float64(p.Lat.ClockHz) }
+
+// Validate reports a descriptive error for malformed profiles.
+func (p Profile) Validate() error {
+	pow2 := func(n int) bool { return n > 0 && n&(n-1) == 0 }
+	switch {
+	case p.NumGPUs < 1 || p.NumGPUs > MaxGPUs:
+		return fmt.Errorf("arch: profile %q: NumGPUs %d outside [1,%d]", p.Name, p.NumGPUs, MaxGPUs)
+	case p.Topology == TopoDGX1 && p.NumGPUs != 8:
+		return fmt.Errorf("arch: profile %q: the DGX-1 cube-mesh needs exactly 8 GPUs, got %d", p.Name, p.NumGPUs)
+	case p.NumSMs < 1:
+		return fmt.Errorf("arch: profile %q: NumSMs must be positive, got %d", p.Name, p.NumSMs)
+	case p.SharedMemPerSM < p.MaxSharedMemPerBlock || p.MaxSharedMemPerBlock < 1:
+		return fmt.Errorf("arch: profile %q: shared memory %d/%d (per SM / max per block) inconsistent",
+			p.Name, p.SharedMemPerSM, p.MaxSharedMemPerBlock)
+	case p.MaxBlocksPerSM < 1:
+		return fmt.Errorf("arch: profile %q: MaxBlocksPerSM must be positive, got %d", p.Name, p.MaxBlocksPerSM)
+	case !pow2(p.L2Sets):
+		return fmt.Errorf("arch: profile %q: L2Sets must be a power of two, got %d", p.Name, p.L2Sets)
+	case p.L2Ways < 1:
+		return fmt.Errorf("arch: profile %q: L2Ways must be positive, got %d", p.Name, p.L2Ways)
+	case !pow2(p.L2LineSize) || p.L2LineSize > PageSize:
+		return fmt.Errorf("arch: profile %q: L2LineSize must be a power of two <= the page size, got %d", p.Name, p.L2LineSize)
+	case p.Lat.L2Hit == 0 || p.Lat.HBM == 0 || p.Lat.NVLinkHop == 0:
+		// A zero latency would silently degenerate the hit/miss
+		// thresholds every attack phase classifies against.
+		return fmt.Errorf("arch: profile %q: latency model incomplete (L2Hit %d, HBM %d, NVLinkHop %d; all must be positive)",
+			p.Name, uint64(p.Lat.L2Hit), uint64(p.Lat.HBM), uint64(p.Lat.NVLinkHop))
+	case p.Lat.ClockHz == 0:
+		return fmt.Errorf("arch: profile %q: ClockHz must be set", p.Name)
+	}
+	return nil
+}
+
+// String summarizes the profile for reports.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s: %d GPUs (%s), %d SMs/GPU, L2 %d sets x %d ways x %d B = %d KB, %.2f GHz",
+		p.Name, p.NumGPUs, p.Topology, p.NumSMs, p.L2Sets, p.L2Ways, p.L2LineSize,
+		p.L2SizeBytes()>>10, float64(p.Lat.ClockHz)/1e9)
+}
+
+// p100Latency is the paper-calibrated model; every value equals the
+// historical package constant, which is what keeps the default profile
+// byte-identical to the pre-profile simulator.
+func p100Latency() LatencyModel {
+	return LatencyModel{
+		L2Hit:           LatL2Hit,
+		HBM:             LatHBM,
+		NVLinkHop:       LatNVLinkHop,
+		RemoteMissExtra: LatRemoteMissExtra,
+		SharedMem:       LatSharedMem,
+		ClockRead:       LatClockRead,
+		ALUOp:           LatALUOp,
+		HeavyOp:         LatHeavyOp,
+		HitII:           HitII,
+		MissII:          MissII,
+
+		JitterSigma:        JitterSigma,
+		ContentionSigmaPer: ContentionSigmaPer,
+
+		ClockHz: ClockHz,
+	}
+}
+
+// P100DGX1 is the paper's machine: eight Tesla P100s in the DGX-1
+// hybrid cube-mesh, with the Table I cache geometry and the Fig. 4
+// latency calibration. This is the default everywhere a profile is
+// not given.
+func P100DGX1() Profile {
+	return Profile{
+		Name:     "p100-dgx1",
+		NumGPUs:  NumGPUs,
+		Topology: TopoDGX1,
+
+		NumSMs:               NumSMs,
+		SharedMemPerSM:       SharedMemPerSM,
+		MaxSharedMemPerBlock: MaxSharedMemPerBlock,
+		MaxBlocksPerSM:       MaxBlocksPerSM,
+
+		L2Sets:     L2Sets,
+		L2Ways:     L2Ways,
+		L2LineSize: CacheLineSize,
+
+		Lat: p100Latency(),
+	}
+}
+
+// V100DGX2 is a Volta DGX-2-class box: sixteen V100s behind NVSwitch
+// (every pair one hop apart), a 6 MB 24-way L2, and a slightly faster
+// clock. The NVSwitch traversal costs more than a direct Pascal link
+// (request and reply each cross the switch fabric).
+func V100DGX2() Profile {
+	p := P100DGX1()
+	p.Name = "v100-dgx2"
+	p.NumGPUs = 16
+	p.Topology = TopoAllToAll
+	p.NumSMs = 80
+	p.SharedMemPerSM = 96 << 10
+	p.MaxSharedMemPerBlock = 96 << 10
+	p.L2Sets = 2048
+	p.L2Ways = 24 // 2048 x 24 x 128 B = 6 MB
+	p.Lat.L2Hit = 232
+	p.Lat.HBM = 160
+	p.Lat.NVLinkHop = 430
+	p.Lat.ClockHz = 1_530_000_000
+	return p
+}
+
+// A100Class is an Ampere-generation 8-GPU box (DGX A100-shaped):
+// all-to-all NVSwitch fabric, more SMs, and a larger, wider L2 (2048
+// sets x 32 ways = 8 MB — scaled down from the real 40 MB the same
+// way the HBM window is, but preserving the doubled associativity the
+// eviction-set search must rediscover: every eviction set needs 32
+// conflicting lines here, twice the P100's).
+func A100Class() Profile {
+	p := P100DGX1()
+	p.Name = "a100-class"
+	p.NumGPUs = 8
+	p.Topology = TopoAllToAll
+	p.NumSMs = 108
+	p.SharedMemPerSM = 164 << 10
+	p.MaxSharedMemPerBlock = 160 << 10
+	p.L2Sets = 2048
+	p.L2Ways = 32 // 2048 x 32 x 128 B = 8 MB
+	p.Lat.L2Hit = 200
+	p.Lat.HBM = 140
+	p.Lat.NVLinkHop = 300
+	p.Lat.ClockHz = 1_410_000_000
+	return p
+}
+
+// Profiles returns every named profile, in generation order.
+func Profiles() []Profile {
+	return []Profile{P100DGX1(), V100DGX2(), A100Class()}
+}
+
+// ProfileNames returns the names of all named profiles.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// LookupProfile resolves a profile by name.
+func LookupProfile(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("arch: unknown profile %q (have %v)", name, ProfileNames())
+}

@@ -1,0 +1,113 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestP100ProfileMatchesConstants pins the compatibility contract: the
+// default profile IS the historical constant set, field for field, so
+// a machine built from it cannot drift from pre-profile behaviour.
+func TestP100ProfileMatchesConstants(t *testing.T) {
+	p := P100DGX1()
+	if p.NumGPUs != NumGPUs || p.NumSMs != NumSMs ||
+		p.SharedMemPerSM != SharedMemPerSM ||
+		p.MaxSharedMemPerBlock != MaxSharedMemPerBlock ||
+		p.MaxBlocksPerSM != MaxBlocksPerSM {
+		t.Errorf("P100 box shape diverged from constants: %+v", p)
+	}
+	if p.L2Sets != L2Sets || p.L2Ways != L2Ways || p.L2LineSize != CacheLineSize {
+		t.Errorf("P100 L2 geometry diverged from constants: %+v", p)
+	}
+	if p.L2SizeBytes() != L2Size {
+		t.Errorf("L2SizeBytes = %d, want %d", p.L2SizeBytes(), L2Size)
+	}
+	lat := p.Lat
+	if lat.L2Hit != LatL2Hit || lat.HBM != LatHBM || lat.NVLinkHop != LatNVLinkHop ||
+		lat.RemoteMissExtra != LatRemoteMissExtra || lat.SharedMem != LatSharedMem ||
+		lat.ClockRead != LatClockRead || lat.ALUOp != LatALUOp || lat.HeavyOp != LatHeavyOp ||
+		lat.HitII != HitII || lat.MissII != MissII {
+		t.Errorf("P100 latency model diverged from constants: %+v", lat)
+	}
+	if lat.JitterSigma != JitterSigma || lat.ContentionSigmaPer != ContentionSigmaPer ||
+		lat.ClockHz != ClockHz {
+		t.Errorf("P100 noise/clock model diverged from constants: %+v", lat)
+	}
+	if p.Topology != TopoDGX1 {
+		t.Errorf("P100 topology = %v, want cube-mesh", p.Topology)
+	}
+}
+
+func TestNamedProfilesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.HashRegions() < 1 {
+			t.Errorf("%s: no hash regions", p.Name)
+		}
+		if p.Seconds(Cycles(p.Lat.ClockHz)) != 1.0 {
+			t.Errorf("%s: Seconds(ClockHz cycles) != 1s", p.Name)
+		}
+	}
+}
+
+func TestProfileGenerationsDiffer(t *testing.T) {
+	v, a := V100DGX2(), A100Class()
+	if v.NumGPUs != 16 || v.Topology != TopoAllToAll {
+		t.Errorf("v100-dgx2 box shape: %+v", v)
+	}
+	if v.L2SizeBytes() != 6<<20 {
+		t.Errorf("v100-dgx2 L2 = %d, want 6 MB", v.L2SizeBytes())
+	}
+	if a.L2SizeBytes() <= v.L2SizeBytes() || a.L2Ways <= v.L2Ways {
+		t.Errorf("a100-class L2 not larger/wider than v100: %d B x %d ways", a.L2SizeBytes(), a.L2Ways)
+	}
+	p := P100DGX1()
+	if !(p.L2SizeBytes() < v.L2SizeBytes() && v.L2SizeBytes() < a.L2SizeBytes()) {
+		t.Error("L2 capacity not monotone across generations")
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	bad := func(mutate func(*Profile)) Profile {
+		p := P100DGX1()
+		mutate(&p)
+		return p
+	}
+	cases := map[string]Profile{
+		"zero gpus":       bad(func(p *Profile) { p.NumGPUs = 0 }),
+		"too many gpus":   bad(func(p *Profile) { p.NumGPUs = MaxGPUs + 1 }),
+		"cube-mesh 16":    bad(func(p *Profile) { p.NumGPUs = 16 }),
+		"non-pow2 sets":   bad(func(p *Profile) { p.L2Sets = 3000 }),
+		"zero ways":       bad(func(p *Profile) { p.L2Ways = 0 }),
+		"huge line":       bad(func(p *Profile) { p.L2LineSize = 2 * PageSize }),
+		"no clock":        bad(func(p *Profile) { p.Lat.ClockHz = 0 }),
+		"no hbm latency":  bad(func(p *Profile) { p.Lat.HBM = 0 }),
+		"no hit latency":  bad(func(p *Profile) { p.Lat.L2Hit = 0 }),
+		"shared mem flip": bad(func(p *Profile) { p.SharedMemPerSM = 1 }),
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: invalid profile accepted", name)
+		}
+	}
+	var zero Profile
+	if err := zero.Validate(); err == nil {
+		t.Error("zero profile accepted")
+	}
+}
+
+func TestLookupProfile(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p, err := LookupProfile(name)
+		if err != nil || p.Name != name {
+			t.Errorf("LookupProfile(%q) = %v, %v", name, p.Name, err)
+		}
+	}
+	if _, err := LookupProfile("h100-nvl"); err == nil {
+		t.Error("unknown profile accepted")
+	} else if !strings.Contains(err.Error(), "p100-dgx1") {
+		t.Errorf("lookup error should list known profiles, got: %v", err)
+	}
+}

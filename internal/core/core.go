@@ -156,16 +156,24 @@ func CharacterizeTiming(m *sim.Machine, devLocal, devRemote arch.DeviceID, acces
 	return p, nil
 }
 
-// DefaultThresholds returns thresholds computed from the nominal
+// DefaultThresholds returns thresholds computed from the nominal P100
 // latency model, for tests and for attack phases that reuse an
 // earlier characterization ("one time, offline" in the threat model).
 func DefaultThresholds() Thresholds {
+	return DefaultThresholdsFor(arch.P100DGX1())
+}
+
+// DefaultThresholdsFor derives nominal thresholds from a profile's
+// latency model — the centers CharacterizeTiming would rediscover on
+// a quiet machine of that architecture.
+func DefaultThresholdsFor(p arch.Profile) Thresholds {
+	localHit := float64(p.Lat.L2Hit)
+	localMiss := float64(p.Lat.L2Hit + p.Lat.HBM)
+	remoteHit := float64(p.Lat.L2Hit + p.Lat.NVLinkHop)
+	remoteMiss := float64(p.Lat.L2Hit + p.Lat.NVLinkHop + p.Lat.HBM + p.Lat.RemoteMissExtra)
 	return Thresholds{
-		Centers: [4]float64{
-			float64(arch.NomLocalHit), float64(arch.NomLocalMiss),
-			float64(arch.NomRemoteHit), float64(arch.NomRemoteMiss),
-		},
-		LocalBoundary:  float64(arch.NomLocalHit+arch.NomLocalMiss) / 2,
-		RemoteBoundary: float64(arch.NomRemoteHit+arch.NomRemoteMiss) / 2,
+		Centers:        [4]float64{localHit, localMiss, remoteHit, remoteMiss},
+		LocalBoundary:  (localHit + localMiss) / 2,
+		RemoteBoundary: (remoteHit + remoteMiss) / 2,
 	}
 }

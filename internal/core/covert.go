@@ -50,6 +50,9 @@ type Transmission struct {
 	// Trace is the set-0 spy probe series (time, mean latency),
 	// which reproduces Fig. 10's waveform.
 	Trace []TracePoint
+	// ClockHz converts Duration to seconds; filled from the machine's
+	// profile by Transmit (0 falls back to the P100 clock).
+	ClockHz uint64
 }
 
 // TracePoint is one point of the Fig. 10 waveform.
@@ -67,13 +70,17 @@ func (tx *Transmission) ErrorRate() float64 {
 }
 
 // BandwidthMBps returns the achieved bandwidth in megabytes per
-// second of simulated time.
+// second of simulated time at the transmitting machine's clock.
 func (tx *Transmission) BandwidthMBps() float64 {
 	if tx.Duration == 0 {
 		return 0
 	}
+	hz := tx.ClockHz
+	if hz == 0 {
+		hz = arch.ClockHz
+	}
 	bytes := float64(len(tx.SentBits)) / 8
-	return bytes / 1e6 / tx.Duration.Seconds()
+	return bytes / 1e6 / (float64(tx.Duration) / float64(hz))
 }
 
 // Channel is an established covert channel: aligned set pairs plus
@@ -271,7 +278,10 @@ func (c *Channel) TransmitWith(msg []byte, beforeRun func(stop *bool) error) (*T
 	}
 
 	rx := mergeRoundRobin(decoded, len(bits))
-	tx := &Transmission{SentBits: bits, ReceivedBits: rx, Duration: lastSample}
+	tx := &Transmission{
+		SentBits: bits, ReceivedBits: rx, Duration: lastSample,
+		ClockHz: c.Trojan.m.Profile().Lat.ClockHz,
+	}
 	for i := range bits {
 		if bits[i] != rx[i] {
 			tx.BitErrors++

@@ -41,8 +41,23 @@ type Attacker struct {
 	// (Sec. III-B). All discovery operates chunk-wise.
 	ChunkSize     int
 	LinesPerChunk int
+	// LineSize is the target cache's line size in bytes (profile-
+	// dependent; 128 B on every machine the paper touches).
+	LineSize int
 
 	m *sim.Machine
+}
+
+// Machine returns the box the attacker runs on.
+func (a *Attacker) Machine() *sim.Machine { return a.m }
+
+// Ways returns the associativity of the target GPU's L2 — the ground
+// truth the machine profile fixes. Attack phases that come after
+// reverse engineering (the paper's "one time, offline" step) read it
+// from here instead of a package constant so the same code ports
+// across architecture profiles.
+func (a *Attacker) Ways() int {
+	return a.m.Device(a.Target).L2().Config().Ways
 }
 
 // NewAttacker creates a process on dev, allocates pages*64KB on
@@ -76,6 +91,7 @@ func NewAttacker(m *sim.Machine, dev, target arch.DeviceID, pages int, thr Thres
 		Thr:           thr,
 		ChunkSize:     cacheCfg.PageSize,
 		LinesPerChunk: cacheCfg.LinesPerPage(),
+		LineSize:      cacheCfg.LineSize,
 		m:             m,
 	}, nil
 }
@@ -85,7 +101,7 @@ func (a *Attacker) Remote() bool { return a.Proc.Device() != a.Target }
 
 // LineVA returns the address of line lineOff within page (chunk).
 func (a *Attacker) LineVA(page, lineOff int) arch.VA {
-	return a.Buf + arch.VA(page*a.ChunkSize+lineOff*arch.CacheLineSize)
+	return a.Buf + arch.VA(page*a.ChunkSize+lineOff*a.LineSize)
 }
 
 // isMiss classifies a measured latency for this attacker's locality.

@@ -158,7 +158,10 @@ func (mc *MultiChannel) Transmit(msg []byte) (*Transmission, error) {
 		}
 	}
 	rx := mergeRoundRobin(decoded, len(bits))
-	tx := &Transmission{SentBits: bits, ReceivedBits: rx, Duration: lastSample}
+	tx := &Transmission{
+		SentBits: bits, ReceivedBits: rx, Duration: lastSample,
+		ClockHz: mc.Trojan.m.Profile().Lat.ClockHz,
+	}
 	for i := range bits {
 		if bits[i] != rx[i] {
 			tx.BitErrors++

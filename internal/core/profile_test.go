@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"spybox/internal/arch"
+	"spybox/internal/l2cache"
+	"spybox/internal/sim"
+)
+
+// profileMachine builds a machine on the given named profile.
+func profileMachine(t *testing.T, prof arch.Profile, seed uint64) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewMachine(sim.Options{Seed: seed, Profile: &prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDiscoveryUnderProfiles runs eviction-set discovery end to end on
+// non-P100 geometries: the DGX-2 profile (24-way L2) and a tiny
+// 64-set single-region cache. Discovery must read the associativity
+// from the machine, partition pages into the geometry's hash-region
+// count, and the resulting eviction sets must really evict — the
+// staircase appears at the profile's `ways`, not the P100's 16.
+func TestDiscoveryUnderProfiles(t *testing.T) {
+	t.Parallel()
+	v100 := arch.V100DGX2()
+	cases := []struct {
+		name        string
+		machine     func(t *testing.T) *sim.Machine
+		pages       int
+		wantWays    int
+		wantregions int
+	}{
+		{
+			// DGX-2: 4 hash regions of a 24-way cache. 240 pages give
+			// each region ~60 >= 2*24+12 — the same margin the
+			// experiments use (discoveryPages at Small scale).
+			name:        "v100-dgx2",
+			machine:     func(t *testing.T) *sim.Machine { return profileMachine(t, v100, 0xd62) },
+			pages:       240,
+			wantWays:    24,
+			wantregions: 4,
+		},
+		{
+			// Tiny 64-set cache with 8 KB hash chunks: a single region
+			// (sets == lines per chunk), so every page conflicts with
+			// every other and discovery must return one giant group.
+			name: "tiny-64set",
+			machine: func(t *testing.T) *sim.Machine {
+				return sim.MustNewMachine(sim.Options{
+					Seed: 0x64,
+					CacheCfg: l2cache.Config{
+						Sets: 64, Ways: 4, LineSize: 128, PageSize: 8192,
+						Policy: l2cache.LRU, HashIndex: true,
+					},
+				})
+			},
+			pages:       24,
+			wantWays:    4,
+			wantregions: 1,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			m := c.machine(t)
+			att, err := NewAttacker(m, 0, 0, c.pages, DefaultThresholdsFor(m.Profile()), 0xabc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if att.Ways() != c.wantWays {
+				t.Fatalf("Ways() = %d, want %d", att.Ways(), c.wantWays)
+			}
+			groups, err := att.DiscoverPageGroups(att.Ways())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(groups.Groups) != c.wantregions {
+				sizes := make([]int, len(groups.Groups))
+				for i, g := range groups.Groups {
+					sizes[i] = len(g)
+				}
+				t.Fatalf("discovered %d conflict groups (sizes %v), want %d",
+					len(groups.Groups), sizes, c.wantregions)
+			}
+			// Ground truth: every page of a group must share its region.
+			for gi, g := range groups.Groups {
+				want := trueSet(t, att, att.LineVA(g[0], 0))
+				for _, p := range g {
+					if got := trueSet(t, att, att.LineVA(p, 0)); got != want {
+						t.Errorf("group %d: page %d in set %d, group is set %d", gi, p, got, want)
+					}
+				}
+			}
+			// The eviction staircase steps exactly at the profile's
+			// associativity (Fig. 5 on this geometry).
+			big := groups.Groups[0]
+			for _, g := range groups.Groups {
+				if len(g) > len(big) {
+					big = g
+				}
+			}
+			maxLines := c.wantWays + 4
+			points, err := att.ValidateEvictionSet(big, maxLines)
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := -1
+			for _, pt := range points {
+				if pt.Evicted && step < 0 {
+					step = pt.LinesAccessed
+				}
+				if step >= 0 && !pt.Evicted {
+					t.Errorf("staircase dipped after k=%d at k=%d", step, pt.LinesAccessed)
+				}
+			}
+			if step != c.wantWays {
+				t.Errorf("eviction step at k=%d, want %d", step, c.wantWays)
+			}
+		})
+	}
+}
+
+// TestAttackerReadsGeometryFromMachine pins the tentpole invariant for
+// every named profile without running discovery: the attacker's chunk
+// size, line size, and associativity come from the machine it targets.
+func TestAttackerReadsGeometryFromMachine(t *testing.T) {
+	t.Parallel()
+	for _, prof := range arch.Profiles() {
+		m := profileMachine(t, prof, 7)
+		att, err := NewAttacker(m, 0, 0, 4, DefaultThresholdsFor(prof), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if att.Ways() != prof.L2Ways || att.LineSize != prof.L2LineSize {
+			t.Errorf("%s: attacker sees %d ways / %d B lines, profile has %d / %d",
+				prof.Name, att.Ways(), att.LineSize, prof.L2Ways, prof.L2LineSize)
+		}
+		if att.LinesPerChunk != arch.PageSize/prof.L2LineSize {
+			t.Errorf("%s: LinesPerChunk = %d", prof.Name, att.LinesPerChunk)
+		}
+	}
+}

@@ -219,7 +219,7 @@ func (k *Kernel) Stream(va arch.VA, count, stride int) (misses int, total arch.C
 		return 0, 0
 	}
 	if stride <= 0 {
-		stride = arch.CacheLineSize
+		stride = k.p.m.LineSize()
 	}
 	// Split the virtual range into physically contiguous runs.
 	i := 0

@@ -55,6 +55,37 @@ type Params struct {
 	// use every available core. Results are bit-identical at any
 	// value; see runner.go.
 	Parallel int
+	// Arch names the architecture profile to build machines from
+	// (arch.ProfileNames). Empty means the paper's p100-dgx1, which
+	// reproduces pre-profile reports byte-for-byte.
+	Arch string
+}
+
+// ArchProfile resolves the run's architecture profile.
+func (p Params) ArchProfile() (arch.Profile, error) {
+	if p.Arch == "" {
+		return arch.P100DGX1(), nil
+	}
+	return arch.LookupProfile(p.Arch)
+}
+
+// mustProfile is ArchProfile for experiment bodies; the CLI validates
+// -arch before any experiment runs, so a failure here is a programming
+// error.
+func (p Params) mustProfile() arch.Profile {
+	prof, err := p.ArchProfile()
+	if err != nil {
+		panic(err)
+	}
+	return prof
+}
+
+// machineFor builds a machine on the run's architecture profile with
+// the remaining options as given.
+func machineFor(p Params, opts sim.Options) *sim.Machine {
+	prof := p.mustProfile()
+	opts.Profile = &prof
+	return sim.MustNewMachine(opts)
 }
 
 // Result is one experiment's reproduction output.
@@ -76,12 +107,17 @@ func newResult(id, title string) *Result {
 	return &Result{ID: id, Title: title, Metrics: map[string]float64{}, Artifacts: map[string][]byte{}}
 }
 
-// attachPGM renders a memorygram into the result's artifacts.
+// attachPGM renders a memorygram into the result's artifacts. A
+// failed render must not pass silently (the run would report success
+// while dropping the artifact), so the error is recorded in the
+// report lines where the CLI prints it.
 func (r *Result) attachPGM(name string, g interface{ WritePGM(io.Writer) error }) {
 	var buf bytes.Buffer
-	if err := g.WritePGM(&buf); err == nil {
-		r.Artifacts[name+".pgm"] = buf.Bytes()
+	if err := g.WritePGM(&buf); err != nil {
+		r.addf("ARTIFACT ERROR: rendering %s.pgm failed: %v", name, err)
+		return
 	}
+	r.Artifacts[name+".pgm"] = buf.Bytes()
 }
 
 // addf appends a formatted report line.
@@ -139,6 +175,7 @@ func Registry() []Experiment {
 		{"mig", "MIG-style partitioning defense (extension)", MIG},
 		{"pairs", "Cross-GPU timing across every NVLink pair (extension)", Pairs},
 		{"multigpu", "Covert channel over additional spy GPUs (extension)", MultiGPU},
+		{"archsweep", "Attack portability across GPU box generations (extension)", ArchSweep},
 	}
 }
 
@@ -182,29 +219,33 @@ type attackPair struct {
 }
 
 // discoveryPages returns the attacker buffer size (in 64 KB pages)
-// for a scale. Discovery needs every conflict group to hold at least
-// 2*ways-1 = 31 pages (phase A hides ways-1 conflicters; phase B then
-// needs ways-1 helpers), so with 4 hash regions the buffer must be
-// comfortably above 4*31 pages.
-func discoveryPages(s Scale) int {
+// for a scale on the run's architecture. Discovery needs every
+// conflict group to hold at least 2*ways-1 pages (phase A hides
+// ways-1 conflicters; phase B then needs ways-1 helpers), so the
+// buffer must sit comfortably above regions*(2*ways-1) pages. On the
+// P100 (4 regions, 16 ways) these sizes are the historical 176/256.
+func discoveryPages(prof arch.Profile, s Scale) int {
+	regions := prof.HashRegions()
 	switch s {
 	case Small:
-		return 176
+		return regions * (2*prof.L2Ways + 12)
 	default:
-		return 256
+		return regions * 4 * prof.L2Ways
 	}
 }
 
 // setupAttackPair builds machine + both attackers and runs discovery
 // on each. The thresholds come from a real Fig. 4 characterization
-// run, not from constants.
+// run, not from constants; the cache geometry (associativity, buffer
+// sizing) comes from the machine's profile, never from the P100
+// package constants.
 func setupAttackPair(p Params) (*attackPair, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	m := machineFor(p, sim.Options{Seed: p.Seed})
 	prof, err := core.CharacterizeTiming(m, trojanGPU, spyGPU, 48, p.Seed^0xfeed)
 	if err != nil {
 		return nil, err
 	}
-	pages := discoveryPages(p.Scale)
+	pages := discoveryPages(m.Profile(), p.Scale)
 	trojan, err := core.NewAttacker(m, trojanGPU, trojanGPU, pages, prof.Thresholds, p.Seed^0x1)
 	if err != nil {
 		return nil, err
@@ -213,16 +254,16 @@ func setupAttackPair(p Params) (*attackPair, error) {
 	if err != nil {
 		return nil, err
 	}
-	tg, err := trojan.DiscoverPageGroups(arch.L2Ways)
+	tg, err := trojan.DiscoverPageGroups(trojan.Ways())
 	if err != nil {
 		return nil, err
 	}
-	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	sg, err := spy.DiscoverPageGroups(spy.Ways())
 	if err != nil {
 		return nil, err
 	}
-	tSets := trojan.AllEvictionSets(tg, arch.L2Ways)
-	sSets := spy.AllEvictionSets(sg, arch.L2Ways)
+	tSets := trojan.AllEvictionSets(tg, trojan.Ways())
+	sSets := spy.AllEvictionSets(sg, spy.Ways())
 	return &attackPair{m: m, trojan: trojan, spy: spy, trojanSets: tSets, spySets: sSets}, nil
 }
 
@@ -237,9 +278,9 @@ func setupSpy(m *sim.Machine, p Params, pages int) (*core.Attacker, []core.Evict
 	if err != nil {
 		return nil, nil, err
 	}
-	sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+	sg, err := spy.DiscoverPageGroups(spy.Ways())
 	if err != nil {
 		return nil, nil, err
 	}
-	return spy, spy.AllEvictionSets(sg, arch.L2Ways), nil
+	return spy, spy.AllEvictionSets(sg, spy.Ways()), nil
 }

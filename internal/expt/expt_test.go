@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -22,8 +24,8 @@ func TestParseScale(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(reg))
+	if len(reg) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -293,5 +295,65 @@ func TestMultiGPU(t *testing.T) {
 	bw1, bw2 := r.Metrics["bw_1_, 4 sets"], r.Metrics["bw_2_4+4 sets"]
 	if bw2 <= bw1 {
 		t.Errorf("two-GPU fan-out bandwidth %v not above single 4-set %v", bw2, bw1)
+	}
+}
+
+func TestArchSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("archsweep reruns the attack chain on three profiles; skipped in -short CI runs")
+	}
+	t.Parallel()
+	r, err := ArchSweep(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["profiles"] != 3 {
+		t.Fatalf("swept %v profiles, want 3", r.Metrics["profiles"])
+	}
+	if r.Metrics["ported"] != 3 {
+		t.Errorf("attack ported on %v/3 profiles: %v", r.Metrics["ported"], r.Metrics)
+	}
+	for _, name := range []string{"p100-dgx1", "v100-dgx2", "a100-class"} {
+		if r.Metrics["geo_ok_"+name] != 1 {
+			t.Errorf("%s: geometry reverse engineering failed", name)
+		}
+		if r.Metrics["bw_MBps_"+name] <= 0 {
+			t.Errorf("%s: no covert bandwidth", name)
+		}
+	}
+	// The measured associativities are the per-generation ground truth.
+	if r.Metrics["measured_ways_p100-dgx1"] != 16 ||
+		r.Metrics["measured_ways_v100-dgx2"] != 24 ||
+		r.Metrics["measured_ways_a100-class"] != 32 {
+		t.Errorf("measured ways wrong: %v", r.Metrics)
+	}
+}
+
+// failingGram's render always fails; attachPGM must surface that in
+// the report instead of silently dropping the artifact.
+type failingGram struct{}
+
+func (failingGram) WritePGM(io.Writer) error { return errors.New("disk is lava") }
+
+type okGram struct{}
+
+func (okGram) WritePGM(w io.Writer) error {
+	_, err := w.Write([]byte("P5 1 1 255 x"))
+	return err
+}
+
+func TestAttachPGMRecordsRenderErrors(t *testing.T) {
+	r := newResult("x", "t")
+	r.attachPGM("good", okGram{})
+	r.attachPGM("bad", failingGram{})
+	if _, ok := r.Artifacts["good.pgm"]; !ok {
+		t.Error("successful render not attached")
+	}
+	if _, ok := r.Artifacts["bad.pgm"]; ok {
+		t.Error("failed render attached an artifact")
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "ARTIFACT ERROR") || !strings.Contains(joined, "disk is lava") {
+		t.Errorf("render failure not recorded in report lines: %q", joined)
 	}
 }

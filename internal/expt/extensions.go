@@ -16,7 +16,6 @@ import (
 	"spybox/internal/arch"
 	"spybox/internal/core"
 	"spybox/internal/cudart"
-	"spybox/internal/nvlink"
 	"spybox/internal/sim"
 	"spybox/internal/stats"
 	"spybox/internal/xrand"
@@ -32,12 +31,12 @@ func MIG(p Params) (*Result, error) {
 	r := newResult("mig", "MIG-style partitioning defense (Sec. VII)")
 
 	attempt := func(partitions int) (aligned bool, detail string, err error) {
-		m := sim.MustNewMachine(sim.Options{Seed: p.Seed, MIGPartitions: partitions})
+		m := machineFor(p, sim.Options{Seed: p.Seed, MIGPartitions: partitions})
 		prof, err := core.CharacterizeTiming(m, trojanGPU, spyGPU, 48, p.Seed^0xfeed)
 		if err != nil {
 			return false, "", err
 		}
-		pages := discoveryPages(p.Scale)
+		pages := discoveryPages(m.Profile(), p.Scale)
 		trojan, err := core.NewAttacker(m, trojanGPU, trojanGPU, pages, prof.Thresholds, p.Seed^0x1)
 		if err != nil {
 			return false, "", err
@@ -46,16 +45,16 @@ func MIG(p Params) (*Result, error) {
 		if err != nil {
 			return false, "", err
 		}
-		tg, err := trojan.DiscoverPageGroups(arch.L2Ways)
+		tg, err := trojan.DiscoverPageGroups(trojan.Ways())
 		if err != nil {
 			return false, "", err
 		}
-		sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+		sg, err := spy.DiscoverPageGroups(spy.Ways())
 		if err != nil {
 			return false, "", err
 		}
-		tSets := trojan.AllEvictionSets(tg, arch.L2Ways)
-		sSets := spy.AllEvictionSets(sg, arch.L2Ways)
+		tSets := trojan.AllEvictionSets(tg, trojan.Ways())
+		sSets := spy.AllEvictionSets(sg, spy.Ways())
 		detail = fmt.Sprintf("trojan covers %d sets, spy covers %d sets", len(tSets), len(sSets))
 		if len(tSets) == 0 || len(sSets) == 0 {
 			return false, detail, nil
@@ -110,7 +109,7 @@ func Pairs(p Params) (*Result, error) {
 		hitMean, missM float64
 	}
 	// Ordered pairs (a, b), a != b, in row-major order.
-	nGPUs := nvlink.DGX1().NumGPUs()
+	nGPUs := p.mustProfile().NumGPUs
 	nPairs := nGPUs * (nGPUs - 1)
 	outs, err := RunTrials(p, nPairs, func(t Trial) (pairTrial, error) {
 		a := arch.DeviceID(t.Index / (nGPUs - 1))
@@ -119,7 +118,7 @@ func Pairs(p Params) (*Result, error) {
 		if b >= a {
 			b++
 		}
-		m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+		m := machineFor(p, sim.Options{Seed: p.Seed})
 		proc, err := cudart.NewProcess(m, a, p.Seed^uint64(a*16+b))
 		if err != nil {
 			return pairTrial{}, err
@@ -166,7 +165,12 @@ func Pairs(p Params) (*Result, error) {
 	r.addf("remote miss level across pairs: %s", ms)
 	r.addf("")
 	r.addf("timing is uniform across all single-hop peers, matching the paper's observation;")
-	r.addf("the DGX-1 cube-mesh leaves %d of %d ordered pairs without a direct link.", refused, connected+refused)
+	if refused > 0 {
+		r.addf("the DGX-1 cube-mesh leaves %d of %d ordered pairs without a direct link.", refused, connected+refused)
+	} else {
+		r.addf("the %s fabric connects every ordered pair directly — the unconnected-pair", p.mustProfile().Topology)
+		r.addf("error class the paper observed on the DGX-1 does not exist on this box.")
+	}
 	r.Metrics["connected_pairs"] = float64(connected)
 	r.Metrics["refused_pairs"] = float64(refused)
 	r.Metrics["hit_spread_cycles"] = hs.Max - hs.Min
@@ -196,32 +200,32 @@ func MultiGPU(p Params) (*Result, error) {
 	}
 	outs, err := RunTrials(p, len(configs), func(t Trial) (mgTrial, error) {
 		c := configs[t.Index]
-		m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+		m := machineFor(p, sim.Options{Seed: p.Seed})
 		prof, err := core.CharacterizeTiming(m, trojanGPU, spyGPU, 48, p.Seed^0xfeed)
 		if err != nil {
 			return mgTrial{}, err
 		}
-		pages := discoveryPages(p.Scale)
+		pages := discoveryPages(m.Profile(), p.Scale)
 		trojan, err := core.NewAttacker(m, trojanGPU, trojanGPU, pages, prof.Thresholds, p.Seed^0x1)
 		if err != nil {
 			return mgTrial{}, err
 		}
-		tg, err := trojan.DiscoverPageGroups(arch.L2Ways)
+		tg, err := trojan.DiscoverPageGroups(trojan.Ways())
 		if err != nil {
 			return mgTrial{}, err
 		}
-		tSets := trojan.AllEvictionSets(tg, arch.L2Ways)
+		tSets := trojan.AllEvictionSets(tg, trojan.Ways())
 
 		newSpy := func(dev arch.DeviceID, seed uint64) (*core.Attacker, []core.EvictionSet, error) {
 			spy, err := core.NewAttacker(m, dev, trojanGPU, pages, prof.Thresholds, seed)
 			if err != nil {
 				return nil, nil, err
 			}
-			sg, err := spy.DiscoverPageGroups(arch.L2Ways)
+			sg, err := spy.DiscoverPageGroups(spy.Ways())
 			if err != nil {
 				return nil, nil, err
 			}
-			return spy, spy.AllEvictionSets(sg, arch.L2Ways), nil
+			return spy, spy.AllEvictionSets(sg, spy.Ways()), nil
 		}
 		// Spies on GPU1 and GPU2: both in GPU0's fully connected quad.
 		spy1, s1Sets, err := newSpy(1, p.Seed^0x2)

@@ -52,9 +52,9 @@ func recordMLPGram(m *sim.Machine, spy *core.Attacker, sets []core.EvictionSet, 
 // hidden width h under the monitor, and return the memorygram and
 // monitor result.
 func mlpMeasure(tp Params, h int) (*memgram.Gram, *core.MonitorResult, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: tp.Seed})
+	m := machineFor(tp, sim.Options{Seed: tp.Seed})
 	numSets, epochCap, base := mlpDims(tp.Scale)
-	spy, spySets, err := setupSpy(m, tp, discoveryPages(tp.Scale))
+	spy, spySets, err := setupSpy(m, tp, discoveryPages(m.Profile(), tp.Scale))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -169,9 +169,9 @@ func TableII(p Params) (*Result, error) {
 
 // Fig14 renders the MLP memorygrams for 128 and 512 hidden neurons.
 func Fig14(p Params) (*Result, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	m := machineFor(p, sim.Options{Seed: p.Seed})
 	numSets, epochCap, base := mlpDims(p.Scale)
-	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
+	spy, spySets, err := setupSpy(m, p, discoveryPages(m.Profile(), p.Scale))
 	if err != nil {
 		return nil, err
 	}
@@ -204,9 +204,9 @@ func Fig14(p Params) (*Result, error) {
 // Fig15 trains a two-epoch MLP and recovers the epoch count from the
 // memorygram's activity bursts.
 func Fig15(p Params) (*Result, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	m := machineFor(p, sim.Options{Seed: p.Seed})
 	numSets, epochCap, base := mlpDims(p.Scale)
-	spy, spySets, err := setupSpy(m, p, discoveryPages(p.Scale))
+	spy, spySets, err := setupSpy(m, p, discoveryPages(m.Profile(), p.Scale))
 	if err != nil {
 		return nil, err
 	}

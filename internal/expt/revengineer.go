@@ -16,7 +16,7 @@ import (
 // classes (local hit/miss, remote hit/miss over NVLink), their
 // cluster centers, and the derived thresholds.
 func Fig4(p Params) (*Result, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	m := machineFor(p, sim.Options{Seed: p.Seed})
 	accesses := 48
 	if p.Scale == Paper {
 		accesses = 192
@@ -64,7 +64,7 @@ func Fig5(p Params) (*Result, error) {
 		name string
 		att  *core.Attacker
 	}{{"local", pair.trojan}, {"remote", pair.spy}} {
-		groups, err := side.att.DiscoverPageGroups(arch.L2Ways)
+		groups, err := side.att.DiscoverPageGroups(side.att.Ways())
 		if err != nil {
 			return nil, err
 		}
@@ -103,16 +103,16 @@ func Fig5(p Params) (*Result, error) {
 // pure timing experiments: line size, associativity, set count, total
 // size and replacement policy.
 func TableI(p Params) (*Result, error) {
-	m := sim.MustNewMachine(sim.Options{Seed: p.Seed})
+	m := machineFor(p, sim.Options{Seed: p.Seed})
 	prof, err := core.CharacterizeTiming(m, trojanGPU, spyGPU, 48, p.Seed^0xfeed)
 	if err != nil {
 		return nil, err
 	}
-	att, err := core.NewAttacker(m, trojanGPU, trojanGPU, discoveryPages(p.Scale), prof.Thresholds, p.Seed^0x31)
+	att, err := core.NewAttacker(m, trojanGPU, trojanGPU, discoveryPages(m.Profile(), p.Scale), prof.Thresholds, p.Seed^0x31)
 	if err != nil {
 		return nil, err
 	}
-	groups, err := att.DiscoverPageGroups(arch.L2Ways)
+	groups, err := att.DiscoverPageGroups(att.Ways())
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +120,9 @@ func TableI(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	geo, err := att.InferGeometry(groups, 32, fresh)
+	// Search associativities up to twice the true value (32 on the
+	// P100): the attacker must find the boundary, not assume it.
+	geo, err := att.InferGeometry(groups, 2*m.Profile().L2Ways, fresh)
 	if err != nil {
 		return nil, err
 	}

@@ -99,6 +99,7 @@ func TestParallelDeterminism(t *testing.T) {
 		{"table2", TableII, true},
 		{"mig", MIG, false},
 		{"pairs", Pairs, false},
+		{"archsweep", ArchSweep, true},
 	}
 	for _, c := range cases {
 		c := c

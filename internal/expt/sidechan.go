@@ -87,8 +87,8 @@ func recordGram(m *sim.Machine, spy *core.Attacker, sets []core.EvictionSet, epo
 func Fig11(p Params) (*Result, error) {
 	numSets, epochs, vcfg := fingerprintDims(p.Scale)
 	grams, err := RunTrials(p, len(victim.AppNames), func(t Trial) (*memgram.Gram, error) {
-		m := sim.MustNewMachine(sim.Options{Seed: t.Params.Seed})
-		spy, spySets, err := setupSpy(m, t.Params, discoveryPages(p.Scale))
+		m := machineFor(t.Params, sim.Options{Seed: t.Params.Seed})
+		spy, spySets, err := setupSpy(m, t.Params, discoveryPages(m.Profile(), p.Scale))
 		if err != nil {
 			return nil, err
 		}
@@ -123,8 +123,8 @@ func Fig12(p Params) (*Result, error) {
 	// One trial per class: each collects its class's sample set on its
 	// own machine with its own spy, so classes fan out across cores.
 	perClassSamples, err := RunTrials(p, len(victim.AppNames), func(t Trial) ([]classify.Sample, error) {
-		m := sim.MustNewMachine(sim.Options{Seed: t.Params.Seed})
-		spy, spySets, err := setupSpy(m, t.Params, discoveryPages(p.Scale))
+		m := machineFor(t.Params, sim.Options{Seed: t.Params.Seed})
+		spy, spySets, err := setupSpy(m, t.Params, discoveryPages(m.Profile(), p.Scale))
 		if err != nil {
 			return nil, err
 		}

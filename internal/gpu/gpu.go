@@ -1,9 +1,11 @@
-// Package gpu assembles one Tesla P100 device: 56 SMs with
+// Package gpu assembles one GPU device of the simulated box: SMs with
 // shared-memory and thread-block occupancy accounting, the L2 cache,
-// and the HBM stack. The occupancy model implements the "leftover
-// policy" for GPU multiprogramming that Sec. VI exploits: thread
-// blocks of the first kernel claim SM resources, and a second kernel's
-// blocks co-reside only if shared memory and block slots remain.
+// and the HBM stack. SM count and resources come from the machine's
+// architecture profile (56 SMs on the paper's P100). The occupancy
+// model implements the "leftover policy" for GPU multiprogramming that
+// Sec. VI exploits: thread blocks of the first kernel claim SM
+// resources, and a second kernel's blocks co-reside only if shared
+// memory and block slots remain.
 package gpu
 
 import (
@@ -14,6 +16,54 @@ import (
 	"spybox/internal/l2cache"
 	"spybox/internal/xrand"
 )
+
+// Config fixes one device's resources: its L2 geometry plus the SM
+// occupancy parameters. The zero Config is invalid; use DefaultConfig
+// for the P100 or FromProfile for another architecture.
+type Config struct {
+	Cache l2cache.Config
+
+	NumSMs               int
+	SharedMemPerSM       int
+	MaxSharedMemPerBlock int
+	MaxBlocksPerSM       int
+
+	// HBMLat is the DRAM service latency charged per L2 fill.
+	HBMLat arch.Cycles
+}
+
+// DefaultConfig returns the P100 device configuration.
+func DefaultConfig() Config {
+	return FromProfile(arch.P100DGX1())
+}
+
+// FromProfile builds the device configuration of an architecture
+// profile.
+func FromProfile(p arch.Profile) Config {
+	return Config{
+		Cache:                l2cache.FromProfile(p),
+		NumSMs:               p.NumSMs,
+		SharedMemPerSM:       p.SharedMemPerSM,
+		MaxSharedMemPerBlock: p.MaxSharedMemPerBlock,
+		MaxBlocksPerSM:       p.MaxBlocksPerSM,
+		HBMLat:               p.Lat.HBM,
+	}
+}
+
+// Validate reports a descriptive error for malformed configurations
+// (the cache geometry validates separately in l2cache.New).
+func (c Config) Validate() error {
+	switch {
+	case c.NumSMs < 1:
+		return fmt.Errorf("gpu: NumSMs must be positive, got %d", c.NumSMs)
+	case c.SharedMemPerSM < c.MaxSharedMemPerBlock || c.MaxSharedMemPerBlock < 1:
+		return fmt.Errorf("gpu: shared memory %d/%d (per SM / max per block) inconsistent",
+			c.SharedMemPerSM, c.MaxSharedMemPerBlock)
+	case c.MaxBlocksPerSM < 1:
+		return fmt.Errorf("gpu: MaxBlocksPerSM must be positive, got %d", c.MaxBlocksPerSM)
+	}
+	return nil
+}
 
 // SM tracks the occupancy-relevant resources of one streaming
 // multiprocessor. Registers are folded into the block-slot limit.
@@ -49,6 +99,7 @@ func (r *BlockReservation) Release() {
 // Device is one GPU in the box.
 type Device struct {
 	id  arch.DeviceID
+	cfg Config
 	l2  *l2cache.Cache
 	mem *hbm.Stack
 	sms []SM
@@ -56,27 +107,34 @@ type Device struct {
 	nextSM int // round-robin placement cursor
 }
 
-// New builds a device with the given L2 geometry. rng seeds the cache
+// New builds a device from its configuration. rng seeds the cache
 // replacement policy when it is randomized.
-func New(id arch.DeviceID, cacheCfg l2cache.Config, rng *xrand.Source) (*Device, error) {
-	l2, err := l2cache.New(cacheCfg, rng)
+func New(id arch.DeviceID, cfg Config, rng *xrand.Source) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l2, err := l2cache.New(cfg.Cache, rng)
 	if err != nil {
 		return nil, err
 	}
 	d := &Device{
 		id:  id,
+		cfg: cfg,
 		l2:  l2,
-		mem: hbm.New(id),
-		sms: make([]SM, arch.NumSMs),
+		mem: hbm.NewSized(id, cfg.Cache.LineSize, cfg.HBMLat),
+		sms: make([]SM, cfg.NumSMs),
 	}
 	for i := range d.sms {
-		d.sms[i] = SM{SharedFree: arch.SharedMemPerSM, BlockSlots: arch.MaxBlocksPerSM}
+		d.sms[i] = SM{SharedFree: cfg.SharedMemPerSM, BlockSlots: cfg.MaxBlocksPerSM}
 	}
 	return d, nil
 }
 
 // ID returns the device's identity.
 func (d *Device) ID() arch.DeviceID { return d.id }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
 
 // L2 returns the device's L2 cache.
 func (d *Device) L2() *l2cache.Cache { return d.l2 }
@@ -93,9 +151,9 @@ func (d *Device) NumSMs() int { return len(d.sms) }
 // fails when no SM can host it, which is exactly the condition the
 // Sec. VI occupancy-blocking defense engineers on purpose.
 func (d *Device) PlaceBlock(sharedMemBytes int) (*BlockReservation, error) {
-	if sharedMemBytes < 0 || sharedMemBytes > arch.MaxSharedMemPerBlock {
+	if sharedMemBytes < 0 || sharedMemBytes > d.cfg.MaxSharedMemPerBlock {
 		return nil, fmt.Errorf("gpu: shared memory request %d outside [0,%d]",
-			sharedMemBytes, arch.MaxSharedMemPerBlock)
+			sharedMemBytes, d.cfg.MaxSharedMemPerBlock)
 	}
 	n := len(d.sms)
 	for probe := 0; probe < n; probe++ {
@@ -125,7 +183,7 @@ func (d *Device) FreeSharedMem() int {
 func (d *Device) ResidentBlocks() int {
 	t := 0
 	for i := range d.sms {
-		t += arch.MaxBlocksPerSM - d.sms[i].BlockSlots
+		t += d.cfg.MaxBlocksPerSM - d.sms[i].BlockSlots
 	}
 	return t
 }

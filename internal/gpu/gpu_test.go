@@ -4,12 +4,11 @@ import (
 	"testing"
 
 	"spybox/internal/arch"
-	"spybox/internal/l2cache"
 )
 
 func newDevice(t *testing.T) *Device {
 	t.Helper()
-	d, err := New(0, l2cache.P100Config(), nil)
+	d, err := New(0, DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

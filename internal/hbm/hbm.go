@@ -17,7 +17,9 @@ const RowSize = 2 << 10
 
 // Stack is one GPU's HBM.
 type Stack struct {
-	dev arch.DeviceID
+	dev      arch.DeviceID
+	lineSize uint64      // bytes per L2 fill, from the machine profile
+	lat      arch.Cycles // DRAM service latency beyond the L2 lookup
 
 	openRow   uint64
 	haveRow   bool
@@ -26,24 +28,43 @@ type Stack struct {
 	bytesRead uint64
 }
 
-// New returns the HBM stack for device dev.
+// New returns the HBM stack for device dev with the P100 fill size and
+// service latency.
 func New(dev arch.DeviceID) *Stack {
-	return &Stack{dev: dev}
+	return NewSized(dev, arch.CacheLineSize, arch.LatHBM)
+}
+
+// NewSized returns the HBM stack for device dev serving L2 fills of
+// lineSize bytes with the given DRAM latency. The fill size must come
+// from the machine's cache geometry: traffic accounting (Sec. VII)
+// counts bytesRead per fill, which is wrong for any non-128 B profile
+// if the P100 constant is hard-coded.
+func NewSized(dev arch.DeviceID, lineSize int, lat arch.Cycles) *Stack {
+	if lineSize <= 0 {
+		lineSize = arch.CacheLineSize
+	}
+	if lat == 0 {
+		lat = arch.LatHBM
+	}
+	return &Stack{dev: dev, lineSize: uint64(lineSize), lat: lat}
 }
 
 // Device returns the GPU this stack belongs to.
 func (s *Stack) Device() arch.DeviceID { return s.dev }
 
+// LineSize returns the bytes served per L2 fill.
+func (s *Stack) LineSize() int { return int(s.lineSize) }
+
 // ReadLine services an L2 fill for the line at pa and returns the DRAM
 // portion of the latency (the cycles beyond the L2 lookup itself).
 func (s *Stack) ReadLine(pa arch.PA) arch.Cycles {
 	s.reads++
-	s.bytesRead += arch.CacheLineSize
+	s.bytesRead += s.lineSize
 	row := uint64(pa) / RowSize
-	lat := arch.LatHBM
+	lat := s.lat
 	if s.haveRow && row == s.openRow {
 		s.rowHits++
-		lat -= arch.LatHBM / 8 // open-row discount
+		lat -= s.lat / 8 // open-row discount
 	}
 	s.openRow, s.haveRow = row, true
 	return lat

@@ -44,3 +44,24 @@ func TestStatsAccounting(t *testing.T) {
 		t.Error("open row forgotten across stats reset")
 	}
 }
+
+// TestNewSizedUsesProfileLineSize guards the Sec. VII traffic
+// accounting fix: bytesRead must count the configured fill size, not
+// the hard-coded P100 128 B constant.
+func TestNewSizedUsesProfileLineSize(t *testing.T) {
+	s := NewSized(2, 256, 100)
+	s.ReadLine(0)
+	s.ReadLine(arch.PA(4 * RowSize))
+	if _, _, bytes := s.Stats(); bytes != 512 {
+		t.Errorf("bytesRead = %d after two 256 B fills, want 512", bytes)
+	}
+	if s.LineSize() != 256 {
+		t.Errorf("LineSize() = %d", s.LineSize())
+	}
+	// Zero values fall back to the P100 defaults.
+	d := NewSized(0, 0, 0)
+	d.ReadLine(0)
+	if _, _, bytes := d.Stats(); bytes != arch.CacheLineSize {
+		t.Errorf("default bytesRead = %d, want %d", bytes, arch.CacheLineSize)
+	}
+}

@@ -71,10 +71,18 @@ type Config struct {
 // P100Config returns the geometry of the Tesla P100 L2 as reverse
 // engineered in the paper (Table I).
 func P100Config() Config {
+	return FromProfile(arch.P100DGX1())
+}
+
+// FromProfile builds the cache geometry of an architecture profile:
+// the profile's L2 shape over the global VM page size, with the
+// hardware's LRU policy and index hash (both of which remain
+// per-machine ablations via the Config fields).
+func FromProfile(p arch.Profile) Config {
 	return Config{
-		Sets:      arch.L2Sets,
-		Ways:      arch.L2Ways,
-		LineSize:  arch.CacheLineSize,
+		Sets:      p.L2Sets,
+		Ways:      p.L2Ways,
+		LineSize:  p.L2LineSize,
 		PageSize:  arch.PageSize,
 		Policy:    LRU,
 		HashIndex: true,

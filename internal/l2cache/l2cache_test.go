@@ -325,3 +325,87 @@ func TestCounterConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFromProfileGeometries is the table-driven non-P100 coverage:
+// each named profile's cache must validate, report the profile's
+// capacity, and behave set-associatively at the profile's own
+// associativity (eviction exactly at `ways` conflicting fills, not at
+// the P100's 16).
+func TestFromProfileGeometries(t *testing.T) {
+	for _, prof := range arch.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			cfg := FromProfile(prof)
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if cfg.SizeBytes() != prof.L2SizeBytes() {
+				t.Errorf("size %d, want %d", cfg.SizeBytes(), prof.L2SizeBytes())
+			}
+			c := MustNew(cfg, nil)
+			// `ways` distinct same-set lines all fit...
+			addrs := sameSetAddrs(c, cfg.Ways+1)
+			for _, a := range addrs[:cfg.Ways] {
+				c.Access(a)
+			}
+			for _, a := range addrs[:cfg.Ways] {
+				if !c.Contains(a) {
+					t.Fatalf("line evicted before associativity was reached")
+				}
+			}
+			// ...and the (ways+1)-th evicts exactly the LRU one.
+			c.Access(addrs[cfg.Ways])
+			if c.Contains(addrs[0]) {
+				t.Error("LRU line survived over-fill")
+			}
+			for _, a := range addrs[1 : cfg.Ways+1] {
+				if !c.Contains(a) {
+					t.Error("non-LRU line evicted")
+				}
+			}
+		})
+	}
+}
+
+// TestPageConsecutiveIndexingPerProfile checks the property all
+// discovery rests on — within one page, lines index consecutive sets —
+// for every profile geometry (the paper observes it on the P100; the
+// profiles model it as common to the generations).
+func TestPageConsecutiveIndexingPerProfile(t *testing.T) {
+	for _, prof := range arch.Profiles() {
+		c := MustNew(FromProfile(prof), nil)
+		base := arch.PA(11 * arch.PageSize)
+		first := c.SetIndex(base)
+		lpp := c.Config().LinesPerPage()
+		for i := 1; i < lpp; i++ {
+			got := c.SetIndex(base + arch.PA(i*c.Config().LineSize))
+			if got != (first+i)%c.Config().Sets {
+				t.Fatalf("%s: line %d of page maps to set %d, want %d",
+					prof.Name, i, got, (first+i)%c.Config().Sets)
+			}
+		}
+	}
+}
+
+// TestTinySixtyFourSetProfile pins behaviour of a deliberately tiny
+// 64-set geometry (subpage cache: fewer sets than lines per page, so
+// the hash has a single region and every page conflicts with every
+// other).
+func TestTinySixtyFourSetProfile(t *testing.T) {
+	cfg := Config{Sets: 64, Ways: 4, LineSize: 128, PageSize: 8192, Policy: LRU, HashIndex: true}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(cfg, nil)
+	// With Sets == LinesPerPage the page wraps exactly once and there
+	// is a single hash region: page base addresses all land in set 0's
+	// region regardless of frame.
+	if got := cfg.LinesPerPage(); got != 64 {
+		t.Fatalf("lines per page = %d, want 64", got)
+	}
+	for page := 0; page < 16; page++ {
+		if got := c.SetIndex(arch.PA(page * 8192)); got != c.SetIndex(0) {
+			t.Errorf("page %d base indexes set %d; single-region cache should be uniform", page, got)
+		}
+	}
+}

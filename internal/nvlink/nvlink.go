@@ -1,9 +1,11 @@
-// Package nvlink models the DGX-1's NVLink fabric: the hybrid
-// cube-mesh topology connecting the eight P100s, per-link latency and
+// Package nvlink models the NVLink fabric of a multi-GPU box: the
+// link graph (the DGX-1's hybrid cube-mesh, an NVSwitch-style
+// all-to-all crossbar, or any custom graph), per-link latency and
 // traffic counters, and the peer-visibility rule the paper observes
 // ("NVidia runtime API throws error if the GPUs are not connected via
 // NVLink") — on NVLink-V1/CUDA 10, peer access requires a *direct*
-// link.
+// link. NVSwitch boxes make every pair "direct", which is exactly how
+// the DGX-2 profile removes the unconnected-pair error class.
 //
 // The Sec. VII defense study consumes the per-link traffic counters:
 // a covert channel shows up as a sustained fine-grained remote-access
@@ -30,8 +32,19 @@ type Link struct {
 // Topology is the static link graph of the box plus its counters.
 type Topology struct {
 	links   []*Link
-	adj     [arch.NumGPUs][arch.NumGPUs]*Link
+	adj     [][]*Link // numGPUs x numGPUs
 	numGPUs int
+	hopLat  arch.Cycles // round-trip cost per traversal
+}
+
+// newTopology allocates the adjacency for n GPUs with the default
+// (P100-calibrated) hop latency.
+func newTopology(n int) *Topology {
+	t := &Topology{numGPUs: n, hopLat: arch.LatNVLinkHop, adj: make([][]*Link, n)}
+	for i := range t.adj {
+		t.adj[i] = make([]*Link, n)
+	}
+	return t
 }
 
 // DGX1 returns the NVLink-V1 hybrid cube-mesh of the Pascal DGX-1:
@@ -47,20 +60,73 @@ func DGX1() *Topology {
 		// cube edges
 		{0, 4}, {1, 5}, {2, 6}, {3, 7},
 	}
-	t := &Topology{numGPUs: arch.NumGPUs}
+	t := newTopology(arch.NumGPUs)
 	for _, p := range pairs {
 		t.addLink(p[0], p[1])
 	}
 	return t
 }
 
+// AllToAll returns an NVSwitch-style crossbar over n GPUs: every pair
+// is one hop apart, so peer access never fails. Links are added in
+// row-major (a < b) order so construction is deterministic.
+func AllToAll(n int) (*Topology, error) {
+	if n < 1 || n > arch.MaxGPUs {
+		return nil, fmt.Errorf("nvlink: unsupported GPU count %d", n)
+	}
+	t := newTopology(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			t.addLink(arch.DeviceID(a), arch.DeviceID(b))
+		}
+	}
+	return t, nil
+}
+
+// DGX2 returns the 16-GPU NVSwitch fabric of the Volta DGX-2 as the
+// attacks see it: a full crossbar (the six physical switch planes are
+// indistinguishable from user level — every pair is one hop).
+func DGX2() *Topology {
+	t, err := AllToAll(16)
+	if err != nil {
+		panic(err) // n=16 is always valid
+	}
+	return t
+}
+
+// FromProfile builds the link graph of an architecture profile and
+// adopts the profile's hop latency.
+func FromProfile(p arch.Profile) (*Topology, error) {
+	var t *Topology
+	switch p.Topology {
+	case arch.TopoDGX1:
+		if p.NumGPUs != arch.NumGPUs {
+			return nil, fmt.Errorf("nvlink: the DGX-1 cube-mesh needs %d GPUs, profile %q has %d",
+				arch.NumGPUs, p.Name, p.NumGPUs)
+		}
+		t = DGX1()
+	case arch.TopoAllToAll:
+		var err error
+		t, err = AllToAll(p.NumGPUs)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("nvlink: profile %q has unknown topology kind %v", p.Name, p.Topology)
+	}
+	if p.Lat.NVLinkHop > 0 {
+		t.hopLat = p.Lat.NVLinkHop
+	}
+	return t, nil
+}
+
 // NewCustom builds a topology over n GPUs with the given undirected
 // links. Used by tests and by what-if experiments with other boxes.
 func NewCustom(n int, pairs [][2]arch.DeviceID) (*Topology, error) {
-	if n <= 0 || n > arch.NumGPUs {
+	if n <= 0 || n > arch.MaxGPUs {
 		return nil, fmt.Errorf("nvlink: unsupported GPU count %d", n)
 	}
-	t := &Topology{numGPUs: n}
+	t := newTopology(n)
 	for _, p := range pairs {
 		a, b := p[0], p[1]
 		if int(a) >= n || int(b) >= n || a < 0 || b < 0 || a == b {
@@ -84,9 +150,12 @@ func (t *Topology) addLink(a, b arch.DeviceID) {
 // NumGPUs returns the number of GPUs in the topology.
 func (t *Topology) NumGPUs() int { return t.numGPUs }
 
+// HopLatency returns the round-trip cost charged per traversal.
+func (t *Topology) HopLatency() arch.Cycles { return t.hopLat }
+
 // Connected reports whether a and b share a direct NVLink.
 func (t *Topology) Connected(a, b arch.DeviceID) bool {
-	if a == b || !a.Valid() || !b.Valid() || int(a) >= t.numGPUs || int(b) >= t.numGPUs {
+	if a == b || a < 0 || b < 0 || int(a) >= t.numGPUs || int(b) >= t.numGPUs {
 		return false
 	}
 	return t.adj[a][b] != nil
@@ -127,7 +196,7 @@ func (t *Topology) Traverse(src, dst arch.DeviceID, payload int) (arch.Cycles, e
 	}
 	l.Transactions++
 	l.Bytes += uint64(payload)
-	return arch.LatNVLinkHop, nil
+	return t.hopLat, nil
 }
 
 // ResetStats zeroes every link's traffic counters.

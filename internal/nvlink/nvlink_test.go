@@ -114,3 +114,83 @@ func TestNewCustomValidation(t *testing.T) {
 		t.Error("custom link not symmetric")
 	}
 }
+
+func TestDGX2AllToAll(t *testing.T) {
+	topo := DGX2()
+	if topo.NumGPUs() != 16 {
+		t.Fatalf("DGX-2 has %d GPUs, want 16", topo.NumGPUs())
+	}
+	if got, want := len(topo.Links()), 16*15/2; got != want {
+		t.Fatalf("DGX-2 crossbar has %d links, want %d", got, want)
+	}
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			want := a != b
+			if got := topo.Connected(arch.DeviceID(a), arch.DeviceID(b)); got != want {
+				t.Errorf("Connected(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+		if peers := topo.Peers(arch.DeviceID(a)); len(peers) != 15 {
+			t.Errorf("GPU%d has %d peers, want 15", a, len(peers))
+		}
+	}
+	// Devices beyond the box (valid IDs on larger boxes) are not here.
+	if topo.Connected(0, 16) || topo.Connected(16, 0) {
+		t.Error("out-of-box device reported connected")
+	}
+}
+
+func TestCustomTopologyBeyondEightGPUs(t *testing.T) {
+	// A 12-GPU ring: legal now that the adjacency is profile-sized
+	// (the old fixed [8][8] array rejected any box over 8 GPUs).
+	var pairs [][2]arch.DeviceID
+	for i := 0; i < 12; i++ {
+		pairs = append(pairs, [2]arch.DeviceID{arch.DeviceID(i), arch.DeviceID((i + 1) % 12)})
+	}
+	topo, err := NewCustom(12, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected(11, 0) || topo.Connected(0, 2) {
+		t.Error("ring adjacency wrong")
+	}
+	if _, err := NewCustom(arch.MaxGPUs+1, nil); err == nil {
+		t.Error("GPU count beyond MaxGPUs accepted")
+	}
+}
+
+func TestFromProfileTopologies(t *testing.T) {
+	cases := []struct {
+		prof      arch.Profile
+		wantLinks int
+	}{
+		{arch.P100DGX1(), 16},
+		{arch.V100DGX2(), 16 * 15 / 2},
+		{arch.A100Class(), 8 * 7 / 2},
+	}
+	for _, c := range cases {
+		topo, err := FromProfile(c.prof)
+		if err != nil {
+			t.Fatalf("%s: %v", c.prof.Name, err)
+		}
+		if topo.NumGPUs() != c.prof.NumGPUs {
+			t.Errorf("%s: %d GPUs, want %d", c.prof.Name, topo.NumGPUs(), c.prof.NumGPUs)
+		}
+		if len(topo.Links()) != c.wantLinks {
+			t.Errorf("%s: %d links, want %d", c.prof.Name, len(topo.Links()), c.wantLinks)
+		}
+		if topo.HopLatency() != c.prof.Lat.NVLinkHop {
+			t.Errorf("%s: hop latency %v, want %v", c.prof.Name, topo.HopLatency(), c.prof.Lat.NVLinkHop)
+		}
+		lat, err := topo.Traverse(0, 1, c.prof.L2LineSize)
+		if err != nil || lat != c.prof.Lat.NVLinkHop {
+			t.Errorf("%s: Traverse = %v, %v", c.prof.Name, lat, err)
+		}
+	}
+	// A cube-mesh profile with the wrong GPU count must be rejected.
+	bad := arch.P100DGX1()
+	bad.NumGPUs = 4
+	if _, err := FromProfile(bad); err == nil {
+		t.Error("4-GPU cube-mesh accepted")
+	}
+}

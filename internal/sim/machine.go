@@ -1,7 +1,8 @@
 // Machine assembly and the memory-event service path: this file is
 // where the NUMA caching behaviour the paper reverse engineers
 // actually lives (home-GPU L2 caching, NVLink traversal, contention-
-// dependent jitter).
+// dependent jitter). The box shape and latency model come from an
+// arch.Profile — the paper's P100 DGX-1 by default.
 package sim
 
 import (
@@ -19,7 +20,12 @@ import (
 
 // Options configure machine construction.
 type Options struct {
-	Seed     uint64
+	Seed uint64
+	// Profile selects the architecture (GPU count, L2 geometry, SM
+	// resources, latency model, topology family). nil means the
+	// paper's machine, arch.P100DGX1(). Explicit CacheCfg / Topology
+	// below override the corresponding profile-derived defaults.
+	Profile  *arch.Profile
 	CacheCfg l2cache.Config
 	Topology *nvlink.Topology
 	// NoiseOff disables all timing jitter; useful in unit tests that
@@ -37,8 +43,9 @@ type Options struct {
 	MIGPartitions int
 }
 
-// Machine is the whole simulated DGX-1 box.
+// Machine is the whole simulated multi-GPU box.
 type Machine struct {
+	prof    arch.Profile
 	devices []*gpu.Device
 	topo    *nvlink.Topology
 	phys    *vmem.PhysMem
@@ -47,16 +54,18 @@ type Machine struct {
 	jitter *xrand.Source
 	root   *xrand.Source
 
+	lat           arch.LatencyModel
+	lineSize      int // L2 line bytes, from the cache geometry
 	noiseOff      bool
 	contSigmaPer  float64
 	migPartitions int
 
 	// peerEnabled[src][dst]: src may access memory homed on dst.
-	peerEnabled [arch.NumGPUs][arch.NumGPUs]bool
+	peerEnabled [][]bool
 
 	// Recent-accessor tracking per device for the contention noise
 	// term: lastTouch[dev][workerID] = engine event number.
-	lastTouch [arch.NumGPUs]map[int]uint64
+	lastTouch []map[int]uint64
 
 	runMu sync.Mutex
 
@@ -68,41 +77,61 @@ type Machine struct {
 // counts as "concurrently active" on an L2.
 const contentionWindow = 96
 
-// NewMachine builds a DGX-1-shaped machine. Zero-value fields of opts
-// get paper defaults (P100 cache geometry, DGX-1 topology).
+// NewMachine builds a machine shaped by opts.Profile (the paper's
+// P100 DGX-1 when nil). Zero-value fields of opts get profile
+// defaults; an explicit CacheCfg or Topology overrides the profile's.
 func NewMachine(opts Options) (*Machine, error) {
+	prof := arch.P100DGX1()
+	if opts.Profile != nil {
+		prof = *opts.Profile
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.CacheCfg == (l2cache.Config{}) {
-		opts.CacheCfg = l2cache.P100Config()
+		opts.CacheCfg = l2cache.FromProfile(prof)
 	}
 	if opts.Topology == nil {
-		opts.Topology = nvlink.DGX1()
+		topo, err := nvlink.FromProfile(prof)
+		if err != nil {
+			return nil, err
+		}
+		opts.Topology = topo
 	}
 	if opts.MIGPartitions > 1 {
 		// Partitioned instances address dedicated L2 banks directly;
 		// the hash would smear partitions across each other.
 		opts.CacheCfg.HashIndex = false
 	}
+	n := opts.Topology.NumGPUs()
 	root := xrand.New(opts.Seed ^ 0x5b7a1e4c90d3f821)
 	m := &Machine{
+		prof:          prof,
 		topo:          opts.Topology,
-		phys:          vmem.NewPhysMem(),
+		phys:          vmem.NewPhysMem(n),
 		eng:           newEngine(),
 		root:          root,
 		jitter:        root.Split(),
+		lat:           prof.Lat,
+		lineSize:      opts.CacheCfg.LineSize,
 		noiseOff:      opts.NoiseOff,
-		contSigmaPer:  arch.ContentionSigmaPer,
+		contSigmaPer:  prof.Lat.ContentionSigmaPer,
 		migPartitions: opts.MIGPartitions,
 	}
 	if opts.ContentionSigmaPer > 0 {
 		m.contSigmaPer = opts.ContentionSigmaPer
 	}
-	n := opts.Topology.NumGPUs()
+	devCfg := gpu.FromProfile(prof)
+	devCfg.Cache = opts.CacheCfg
+	m.peerEnabled = make([][]bool, n)
+	m.lastTouch = make([]map[int]uint64, n)
 	for i := 0; i < n; i++ {
-		d, err := gpu.New(arch.DeviceID(i), opts.CacheCfg, root.Split())
+		d, err := gpu.New(arch.DeviceID(i), devCfg, root.Split())
 		if err != nil {
 			return nil, err
 		}
 		m.devices = append(m.devices, d)
+		m.peerEnabled[i] = make([]bool, n)
 		m.lastTouch[i] = make(map[int]uint64)
 	}
 	return m, nil
@@ -119,6 +148,14 @@ func MustNewMachine(opts Options) *Machine {
 
 // Device returns GPU dev.
 func (m *Machine) Device(dev arch.DeviceID) *gpu.Device { return m.devices[dev] }
+
+// Profile returns the architecture profile the machine was built from.
+func (m *Machine) Profile() arch.Profile { return m.prof }
+
+// LineSize returns the L2 line size the machine was built with (the
+// cache geometry's, which an Options.CacheCfg override may have set
+// independently of the profile).
+func (m *Machine) LineSize() int { return m.lineSize }
 
 // NumGPUs returns the number of GPUs in the box.
 func (m *Machine) NumGPUs() int { return len(m.devices) }
@@ -159,7 +196,13 @@ func (m *Machine) EnablePeer(src, dst arch.DeviceID) error {
 
 // PeerEnabled reports whether src may access memory homed on dst.
 func (m *Machine) PeerEnabled(src, dst arch.DeviceID) bool {
-	return src == dst || m.peerEnabled[src][dst]
+	if src == dst {
+		return true
+	}
+	if src < 0 || dst < 0 || int(src) >= len(m.peerEnabled) || int(dst) >= len(m.peerEnabled) {
+		return false
+	}
+	return m.peerEnabled[src][dst]
 }
 
 // FrameFilter returns the frame placement policy for a process under
@@ -281,7 +324,7 @@ func (w *Worker) Device() arch.DeviceID { return w.dev }
 // Clock reads the cycle counter, charging the read overhead, like the
 // CUDA clock() intrinsic.
 func (w *Worker) Clock() arch.Cycles {
-	w.clock += arch.LatClockRead
+	w.clock += w.m.lat.ClockRead
 	return w.clock
 }
 
@@ -291,21 +334,21 @@ func (w *Worker) Now() arch.Cycles { return w.clock }
 
 // Busy advances the worker's clock by n dummy ALU operations.
 func (w *Worker) Busy(n int) {
-	w.clock += arch.Cycles(n) * arch.LatALUOp
+	w.clock += arch.Cycles(n) * w.m.lat.ALUOp
 }
 
 // BusyHeavy advances the clock by n "computationally heavy dummy
 // instructions" — the trigonometric busy-wait the trojan uses while
 // transmitting a '0'.
 func (w *Worker) BusyHeavy(n int) {
-	w.clock += arch.Cycles(n) * arch.LatHeavyOp
+	w.clock += arch.Cycles(n) * w.m.lat.HeavyOp
 }
 
 // SharedWrite models buffering a value in on-SM shared memory (the
 // attacks record timing samples there to keep the measurement path
 // off the L2).
 func (w *Worker) SharedWrite() {
-	w.clock += arch.LatSharedMem
+	w.clock += w.m.lat.SharedMem
 }
 
 // LoadCG performs an L1-bypassing cached load (__ldcg) of the 8-byte
@@ -386,9 +429,9 @@ func (m *Machine) service(w *Worker, req *request) {
 		}
 		total := maxLat
 		if n := len(req.pas); n > 1 {
-			total += arch.Cycles(n-1) * arch.HitII
+			total += arch.Cycles(n-1) * m.lat.HitII
 		}
-		total += arch.Cycles(misses) * arch.MissII
+		total += arch.Cycles(misses) * m.lat.MissII
 		req.misses = misses
 		req.lat = total
 		w.clock += total
@@ -406,9 +449,9 @@ func (m *Machine) service(w *Worker, req *request) {
 			if i == 0 {
 				total += lat
 			} else {
-				total += arch.HitII
+				total += m.lat.HitII
 				if !hit {
-					total += arch.MissII
+					total += m.lat.MissII
 				}
 			}
 		}
@@ -429,19 +472,19 @@ func (m *Machine) accessLine(w *Worker, pa arch.PA) (arch.Cycles, bool) {
 		panic(fmt.Sprintf("sim: worker %q on %v accessed %v memory without peer access",
 			w.name, w.dev, home))
 	}
-	hit, _ := m.devices[home].L2().Access(pa.LineAddr())
-	lat := arch.LatL2Hit
+	hit, _ := m.devices[home].L2().Access(pa &^ arch.PA(m.lineSize-1))
+	lat := m.lat.L2Hit
 	if !hit {
 		lat += m.devices[home].HBM().ReadLine(pa)
 	}
 	if remote {
-		hop, err := m.topo.Traverse(w.dev, home, arch.CacheLineSize)
+		hop, err := m.topo.Traverse(w.dev, home, m.lineSize)
 		if err != nil {
 			panic(fmt.Sprintf("sim: %v", err))
 		}
 		lat += hop
 		if !hit {
-			lat += arch.LatRemoteMissExtra
+			lat += m.lat.RemoteMissExtra
 		}
 	}
 	lat += m.jitterFor(w, home)
@@ -471,7 +514,7 @@ func (m *Machine) jitterFor(w *Worker, home arch.DeviceID) arch.Cycles {
 			delete(touch, id)
 		}
 	}
-	sigma := arch.JitterSigma + m.contSigmaPer*float64(others)
+	sigma := m.lat.JitterSigma + m.contSigmaPer*float64(others)
 	j := m.jitter.NormSigma(sigma)
 	if j < 0 {
 		// Latencies have a hard floor; fold the negative tail back so

@@ -362,3 +362,83 @@ func TestMIGFrameFilter(t *testing.T) {
 		t.Error("unpartitioned machine returned a frame filter")
 	}
 }
+
+// TestMachineFromProfile builds machines on each named profile and
+// checks the box shape plus the profile latency model end to end: a
+// local hit on a V100 box must cost the V100's L2 latency, a remote
+// access must add the NVSwitch hop, and GPUs 8..15 must be real,
+// peer-reachable devices (the old fixed 8x8 arrays made them
+// unrepresentable).
+func TestMachineFromProfile(t *testing.T) {
+	for _, prof := range arch.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			m, err := NewMachine(Options{Seed: 5, Profile: &prof, NoiseOff: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.NumGPUs() != prof.NumGPUs {
+				t.Fatalf("NumGPUs = %d, want %d", m.NumGPUs(), prof.NumGPUs)
+			}
+			if m.Profile().Name != prof.Name {
+				t.Fatalf("Profile() = %q", m.Profile().Name)
+			}
+			if cfg := m.Device(0).L2().Config(); cfg.Sets != prof.L2Sets || cfg.Ways != prof.L2Ways {
+				t.Fatalf("device cache %dx%d, want %dx%d", cfg.Sets, cfg.Ways, prof.L2Sets, prof.L2Ways)
+			}
+			if m.Device(0).NumSMs() != prof.NumSMs {
+				t.Fatalf("NumSMs = %d, want %d", m.Device(0).NumSMs(), prof.NumSMs)
+			}
+			// Highest-numbered GPU directly linked to GPU0: device 15 on
+			// the DGX-2 crossbar, device 4 on the cube-mesh.
+			peers := m.Topology().Peers(0)
+			last := peers[len(peers)-1]
+			if err := m.EnablePeer(last, 0); err != nil {
+				t.Fatalf("peer %v->0: %v", last, err)
+			}
+			var missLat, hitLat, remoteHit arch.Cycles
+			w, err := m.Spawn(0, "local", 0, func(w *Worker) {
+				missLat = w.TouchCG(arch.MakePA(0, 0x10000))
+				hitLat = w.TouchCG(arch.MakePA(0, 0x10000))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = w
+			m.Run()
+			if hitLat != prof.Lat.L2Hit {
+				t.Errorf("local hit = %v, want %v", hitLat, prof.Lat.L2Hit)
+			}
+			if missLat < prof.Lat.L2Hit+prof.Lat.HBM/2 {
+				t.Errorf("local miss = %v, implausibly cheap", missLat)
+			}
+			_, err = m.Spawn(last, "remote", 0, func(w *Worker) {
+				remoteHit = w.TouchCG(arch.MakePA(0, 0x10000))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Run()
+			if remoteHit != prof.Lat.L2Hit+prof.Lat.NVLinkHop {
+				t.Errorf("remote hit from %v = %v, want %v", last, remoteHit, prof.Lat.L2Hit+prof.Lat.NVLinkHop)
+			}
+		})
+	}
+}
+
+// TestDGX2PeerRules pins the topology semantics per profile: on the
+// cube-mesh, unconnected pairs refuse peer access; on NVSwitch boxes
+// every pair is reachable.
+func TestDGX2PeerRules(t *testing.T) {
+	p100, v100 := arch.P100DGX1(), arch.V100DGX2()
+	m1 := MustNewMachine(Options{Seed: 1, Profile: &p100})
+	if err := m1.EnablePeer(0, 5); err == nil {
+		t.Error("DGX-1: GPU0->GPU5 has no direct link and must refuse peer access")
+	}
+	m2 := MustNewMachine(Options{Seed: 1, Profile: &v100})
+	for dst := 1; dst < 16; dst++ {
+		if err := m2.EnablePeer(0, arch.DeviceID(dst)); err != nil {
+			t.Errorf("DGX-2: GPU0->GPU%d: %v", dst, err)
+		}
+	}
+}

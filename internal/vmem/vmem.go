@@ -29,22 +29,32 @@ const FramesPerGPU = arch.HBMBytesPerGPU / arch.PageSize
 // because the attacks pointer-chase through real data (each word holds
 // the index of the next element).
 type PhysMem struct {
-	used    [arch.NumGPUs]map[uint64]bool // frame-within-device -> taken
-	backing map[uint64][]byte             // machine frame number -> page bytes
+	used    []map[uint64]bool // per device: frame-within-device -> taken
+	backing map[uint64][]byte // machine frame number -> page bytes
 }
 
-// NewPhysMem returns an empty physical memory.
-func NewPhysMem() *PhysMem {
-	p := &PhysMem{backing: make(map[uint64][]byte)}
+// NewPhysMem returns an empty physical memory for a box of numGPUs
+// devices (the machine profile's GPU count).
+func NewPhysMem(numGPUs int) *PhysMem {
+	p := &PhysMem{
+		used:    make([]map[uint64]bool, numGPUs),
+		backing: make(map[uint64][]byte),
+	}
 	for i := range p.used {
 		p.used[i] = make(map[uint64]bool)
 	}
 	return p
 }
 
+// NumGPUs returns how many devices this physical memory spans.
+func (p *PhysMem) NumGPUs() int { return len(p.used) }
+
 // allocFrame claims a random free frame on dev that satisfies allow
 // (nil means any frame), drawing from rng.
 func (p *PhysMem) allocFrame(dev arch.DeviceID, rng *xrand.Source, allow func(uint64) bool) (arch.PA, error) {
+	if dev < 0 || int(dev) >= len(p.used) {
+		return 0, fmt.Errorf("vmem: no such device %d (box has %d GPUs)", int(dev), len(p.used))
+	}
 	taken := p.used[dev]
 	if len(taken) >= FramesPerGPU {
 		return 0, fmt.Errorf("vmem: %v HBM exhausted", dev)

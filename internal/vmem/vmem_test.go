@@ -9,7 +9,7 @@ import (
 )
 
 func newSpace(seed uint64) (*Space, *PhysMem) {
-	phys := NewPhysMem()
+	phys := NewPhysMem(arch.NumGPUs)
 	return NewSpace(0, phys, xrand.New(seed)), phys
 }
 
@@ -108,7 +108,7 @@ func TestPlacementReproducibleAcrossRuns(t *testing.T) {
 }
 
 func TestDistinctProcessesGetDistinctFrames(t *testing.T) {
-	phys := NewPhysMem()
+	phys := NewPhysMem(arch.NumGPUs)
 	s1 := NewSpace(1, phys, xrand.New(10))
 	s2 := NewSpace(2, phys, xrand.New(20))
 	b1, _ := s1.Alloc(32*arch.PageSize, 0)
@@ -186,7 +186,7 @@ func TestSharedPhysMemVisibleAcrossSpaces(t *testing.T) {
 	// Two processes can see each other's data through physical memory
 	// only via the same PA (simulating what an owning process wrote
 	// being visible to a peer-access read).
-	phys := NewPhysMem()
+	phys := NewPhysMem(arch.NumGPUs)
 	s1 := NewSpace(1, phys, xrand.New(1))
 	b, _ := s1.Alloc(arch.PageSize, 0)
 	s1.WriteU64(b, 12345)
@@ -222,7 +222,7 @@ func TestNoFrameAliasingProperty(t *testing.T) {
 }
 
 func TestFilteredPlacement(t *testing.T) {
-	phys := NewPhysMem()
+	phys := NewPhysMem(arch.NumGPUs)
 	evenOnly := func(frame uint64) bool { return frame%2 == 0 }
 	s := NewSpaceFiltered(0, phys, xrand.New(30), evenOnly)
 	base, err := s.Alloc(16*arch.PageSize, 0)
