@@ -58,6 +58,52 @@ type LatencyModel struct {
 	ClockHz uint64 // boost clock, for cycles -> seconds
 }
 
+// FabricConfig describes an NVSwitch-style two-stage fabric: a remote
+// transaction leaves through the source GPU's egress port, crosses one
+// of Planes switch planes, and arrives through the destination GPU's
+// ingress port. The zero config (Planes == 0) means point-to-point
+// NVLink with a single flat hop charge — the Pascal DGX-1 path, which
+// must stay byte-identical to the pre-fabric simulator.
+//
+// Each ordered GPU pair is pinned to plane (src+dst) mod Planes, the
+// way an address-interleaved NVSwitch stripes a fixed route per pair.
+// Pinning is what lets the Sec. VII detector localize a covert stream
+// to the plane it rides (see internal/expt's sec7 and fabricsweep).
+type FabricConfig struct {
+	// Planes is the number of physical switch planes (six NVSwitches
+	// in a DGX-2 half-shelf).
+	Planes int
+	// PortSlots is how many transactions one GPU-side port services
+	// concurrently; a burst beyond that waits for the earliest free
+	// slot (FIFO backpressure, surfaced as latency).
+	PortSlots int
+	// PortService is the per-transaction occupancy of one port slot —
+	// the serialization that makes co-scheduled streams on a shared
+	// port contend.
+	PortService Cycles
+	// EgressLat, SwitchLat and IngressLat split the uncontended
+	// traversal: GPU egress port -> switch plane -> ingress GPU port.
+	// The named profiles keep their sum equal to Lat.NVLinkHop so the
+	// two-stage path moves no timing cluster, only adds contention.
+	EgressLat, SwitchLat, IngressLat Cycles
+}
+
+// Enabled reports whether the profile models a switch-plane fabric.
+func (f FabricConfig) Enabled() bool { return f.Planes > 0 }
+
+// PlaneFor is the single authoritative pinning rule: the switch plane
+// the ordered pair (src, dst) rides, or -1 without a fabric. Symmetric
+// in src and dst, so request and reply share a plane.
+func (f FabricConfig) PlaneFor(src, dst DeviceID) int {
+	if !f.Enabled() {
+		return -1
+	}
+	return (int(src) + int(dst)) % f.Planes
+}
+
+// TraversalLat returns the uncontended two-stage traversal cost.
+func (f FabricConfig) TraversalLat() Cycles { return f.EgressLat + f.SwitchLat + f.IngressLat }
+
 // Profile is one machine configuration: a named GPU box the simulator
 // can build. The zero Profile is invalid; start from a named profile
 // and override fields as needed.
@@ -81,6 +127,10 @@ type Profile struct {
 	L2Sets     int
 	L2Ways     int
 	L2LineSize int
+
+	// Fabric models the NVSwitch two-stage path with per-port
+	// contention; the zero value keeps flat point-to-point hops.
+	Fabric FabricConfig
 
 	Lat LatencyModel
 }
@@ -139,14 +189,38 @@ func (p Profile) Validate() error {
 			p.Name, uint64(p.Lat.L2Hit), uint64(p.Lat.HBM), uint64(p.Lat.NVLinkHop))
 	case p.Lat.ClockHz == 0:
 		return fmt.Errorf("arch: profile %q: ClockHz must be set", p.Name)
+	case p.Fabric.Enabled() && p.Topology != TopoAllToAll:
+		// Switch planes only make sense behind a crossbar; the DGX-1
+		// cube-mesh is direct GPU-to-GPU links.
+		return fmt.Errorf("arch: profile %q: a switch-plane fabric requires an all-to-all topology, got %v",
+			p.Name, p.Topology)
+	case p.Fabric.Enabled() && p.Fabric.PortSlots < 1:
+		return fmt.Errorf("arch: profile %q: fabric PortSlots must be positive, got %d", p.Name, p.Fabric.PortSlots)
+	case p.Fabric.Enabled() && (p.Fabric.EgressLat == 0 || p.Fabric.SwitchLat == 0 || p.Fabric.IngressLat == 0):
+		return fmt.Errorf("arch: profile %q: fabric stage latencies incomplete (egress %d, switch %d, ingress %d; all must be positive)",
+			p.Name, uint64(p.Fabric.EgressLat), uint64(p.Fabric.SwitchLat), uint64(p.Fabric.IngressLat))
+	case p.Fabric.Enabled() && p.Fabric.PortService == 0:
+		// Zero service time would make ports infinitely fast and the
+		// contention model a silent no-op.
+		return fmt.Errorf("arch: profile %q: fabric PortService must be positive", p.Name)
+	case p.Fabric.Enabled() && p.Fabric.TraversalLat() != p.Lat.NVLinkHop:
+		// The timing model derives remote classes from NVLinkHop; a
+		// two-stage sum that disagrees would silently shift every
+		// remote access away from the calibrated clusters.
+		return fmt.Errorf("arch: profile %q: fabric stages sum to %d cycles but Lat.NVLinkHop is %d; they must match",
+			p.Name, uint64(p.Fabric.TraversalLat()), uint64(p.Lat.NVLinkHop))
 	}
 	return nil
 }
 
 // String summarizes the profile for reports.
 func (p Profile) String() string {
+	topo := p.Topology.String()
+	if p.Fabric.Enabled() {
+		topo = fmt.Sprintf("%s, %d switch planes", topo, p.Fabric.Planes)
+	}
 	return fmt.Sprintf("%s: %d GPUs (%s), %d SMs/GPU, L2 %d sets x %d ways x %d B = %d KB, %.2f GHz",
-		p.Name, p.NumGPUs, p.Topology, p.NumSMs, p.L2Sets, p.L2Ways, p.L2LineSize,
+		p.Name, p.NumGPUs, topo, p.NumSMs, p.L2Sets, p.L2Ways, p.L2LineSize,
 		p.L2SizeBytes()>>10, float64(p.Lat.ClockHz)/1e9)
 }
 
@@ -214,6 +288,22 @@ func V100DGX2() Profile {
 	p.Lat.HBM = 160
 	p.Lat.NVLinkHop = 430
 	p.Lat.ClockHz = 1_530_000_000
+	// The DGX-2 NVSwitch fabric: each V100 drives one NVLink2 port
+	// into each of the six switch planes. The stage split sums to the
+	// 430-cycle NVLinkHop, so an uncontended traversal is unchanged;
+	// only co-scheduled streams sharing a port pay queueing.
+	// PortService stays at or below Lat.HitII so a port drains at
+	// least as fast as one warp can issue: a solo worker never queues
+	// behind its own bursts, and only genuinely concurrent streams
+	// contend.
+	p.Fabric = FabricConfig{
+		Planes:      6,
+		PortSlots:   1,
+		PortService: 8,
+		EgressLat:   120,
+		SwitchLat:   190,
+		IngressLat:  120,
+	}
 	return p
 }
 
@@ -237,6 +327,18 @@ func A100Class() Profile {
 	p.Lat.HBM = 140
 	p.Lat.NVLinkHop = 300
 	p.Lat.ClockHz = 1_410_000_000
+	// DGX A100 shape: six switch planes, but NVLink3 pairs two links
+	// per GPU per plane (two service slots) and moves lines faster.
+	// Stages again sum to the profile's NVLinkHop, and PortService
+	// stays below Lat.HitII (see V100DGX2).
+	p.Fabric = FabricConfig{
+		Planes:      6,
+		PortSlots:   2,
+		PortService: 6,
+		EgressLat:   85,
+		SwitchLat:   130,
+		IngressLat:  85,
+	}
 	return p
 }
 

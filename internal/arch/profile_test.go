@@ -75,6 +75,11 @@ func TestProfileValidateRejects(t *testing.T) {
 		mutate(&p)
 		return p
 	}
+	badV100 := func(mutate func(*Profile)) Profile {
+		p := V100DGX2()
+		mutate(&p)
+		return p
+	}
 	cases := map[string]Profile{
 		"zero gpus":       bad(func(p *Profile) { p.NumGPUs = 0 }),
 		"too many gpus":   bad(func(p *Profile) { p.NumGPUs = MaxGPUs + 1 }),
@@ -86,6 +91,15 @@ func TestProfileValidateRejects(t *testing.T) {
 		"no hbm latency":  bad(func(p *Profile) { p.Lat.HBM = 0 }),
 		"no hit latency":  bad(func(p *Profile) { p.Lat.L2Hit = 0 }),
 		"shared mem flip": bad(func(p *Profile) { p.SharedMemPerSM = 1 }),
+		"fabric on cube-mesh": bad(func(p *Profile) {
+			p.Fabric = FabricConfig{Planes: 6, PortSlots: 1, PortService: 8, EgressLat: 100, SwitchLat: 160, IngressLat: 100}
+		}),
+		"fabric no slots": badV100(func(p *Profile) { p.Fabric.PortSlots = 0 }),
+		"fabric no stage": badV100(func(p *Profile) { p.Fabric.SwitchLat = 0 }),
+		"fabric free port": badV100(func(p *Profile) {
+			p.Fabric.PortService = 0
+		}),
+		"fabric sum mismatch": badV100(func(p *Profile) { p.Fabric.SwitchLat += 10 }),
 	}
 	for name, p := range cases {
 		if err := p.Validate(); err == nil {

@@ -3,6 +3,8 @@
 package expt
 
 import (
+	"fmt"
+
 	"spybox/internal/arch"
 	"spybox/internal/core"
 	"spybox/internal/cudart"
@@ -208,5 +210,26 @@ func SecVII(p Params) (*Result, error) {
 	r.addf("threshold: median busiest-link rate > %.0f txns/Mcycle.", thresholdPerMCycle)
 	r.addf("the covert channel's line-granular probing keeps every subwindow hot; benign")
 	r.addf("peer traffic is a one-shot burst, so its median subwindow is quiet (Sec. VII).")
+
+	// On switch-based boxes the two-stage fabric pins each GPU pair to
+	// one plane, so the detector can go beyond "a stream exists" and
+	// name the plane it rides.
+	if planeRates := covSampler.PlaneMedianRates(); len(planeRates) > 0 {
+		r.addf("")
+		r.addf("per-plane median subwindow rates during the covert window:")
+		for i, rate := range planeRates {
+			r.addf("  switch plane %d: %8.1f txns/Mcy", i, rate)
+			r.Metrics[fmt.Sprintf("plane_rate_%d", i)] = rate
+		}
+		truth := pair.m.Topology().PlaneFor(spyGPU, trojanGPU)
+		if plane, rate := covSampler.LocalizePlane(thresholdPerMCycle); plane >= 0 {
+			r.addf("covert stream localized to switch plane %d (%.1f txns/Mcy; pair %v-%v is pinned to plane %d)",
+				plane, rate, spyGPU, trojanGPU, truth)
+			r.Metrics["localized_plane"] = float64(plane)
+		} else {
+			r.addf("covert stream not localized to a single plane (pair %v-%v is pinned to plane %d)",
+				spyGPU, trojanGPU, truth)
+		}
+	}
 	return r, nil
 }

@@ -176,6 +176,7 @@ func Registry() []Experiment {
 		{"pairs", "Cross-GPU timing across every NVLink pair (extension)", Pairs},
 		{"multigpu", "Covert channel over additional spy GPUs (extension)", MultiGPU},
 		{"archsweep", "Attack portability across GPU box generations (extension)", ArchSweep},
+		{"fabricsweep", "Covert channel under switch-port contention (extension)", FabricSweep},
 	}
 }
 

@@ -2,9 +2,12 @@ package expt
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
+
+	"spybox/internal/arch"
 )
 
 // smallParams runs every experiment at test scale.
@@ -24,8 +27,8 @@ func TestParseScale(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(reg))
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {
@@ -244,14 +247,102 @@ func TestSecVII(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Metrics["detected_covert channel active"] != 1 {
-		t.Error("covert channel not detected")
+	if got := r.Metrics["detected_covert channel active"]; got != 1 {
+		t.Fatalf("covert channel not detected: detected = %v, median rate %v txns/Mcy",
+			got, r.Metrics["median_rate_covert channel active"])
 	}
-	if r.Metrics["detected_benign (victims + bulk P2P)"] != 0 {
-		t.Error("false positive on benign workload")
+	if got := r.Metrics["detected_benign (victims + bulk P2P)"]; got != 0 {
+		t.Fatalf("false positive on benign workload: detected = %v, median rate %v txns/Mcy",
+			got, r.Metrics["median_rate_benign (victims + bulk P2P)"])
 	}
-	if r.Metrics["detected_idle (local workload only)"] != 0 {
-		t.Error("false positive on idle fabric")
+	if got := r.Metrics["detected_idle (local workload only)"]; got != 0 {
+		t.Fatalf("false positive on idle fabric: detected = %v, median rate %v txns/Mcy",
+			got, r.Metrics["median_rate_idle (local workload only)"])
+	}
+	// The paper's machine has point-to-point links: no plane metrics.
+	if got, ok := r.Metrics["localized_plane"]; ok {
+		t.Fatalf("p100-dgx1 reported localized_plane = %v; it has no switch fabric", got)
+	}
+}
+
+// TestSecVIIPlaneLocalization runs the detector on the DGX-2 profile,
+// where the two-stage fabric pins the covert pair to one switch plane
+// and the detector must name it.
+func TestSecVIIPlaneLocalization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sec7 on v100-dgx2 re-runs the full attack setup; skipped in -short CI runs")
+	}
+	t.Parallel()
+	p := smallParams()
+	p.Arch = "v100-dgx2"
+	r, err := SecVII(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Metrics["detected_covert channel active"]; got != 1 {
+		t.Fatalf("covert channel not detected on v100-dgx2: detected = %v, median rate %v txns/Mcy",
+			got, r.Metrics["median_rate_covert channel active"])
+	}
+	prof, err := arch.LookupProfile("v100-dgx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64((0 + 1) % prof.Fabric.Planes) // trojan GPU0, spy GPU1
+	got, ok := r.Metrics["localized_plane"]
+	if !ok {
+		t.Fatalf("covert stream not localized to any plane; plane rates: %v %v %v %v %v %v",
+			r.Metrics["plane_rate_0"], r.Metrics["plane_rate_1"], r.Metrics["plane_rate_2"],
+			r.Metrics["plane_rate_3"], r.Metrics["plane_rate_4"], r.Metrics["plane_rate_5"])
+	}
+	if got != want {
+		t.Fatalf("localized_plane = %v, want %v (the covert pair's pinned plane)", got, want)
+	}
+	for i := 0; i < prof.Fabric.Planes; i++ {
+		rate, ok := r.Metrics[fmt.Sprintf("plane_rate_%d", i)]
+		if !ok {
+			t.Fatalf("missing per-plane rate metric plane_rate_%d", i)
+		}
+		if i != int(want) && rate >= r.Metrics[fmt.Sprintf("plane_rate_%d", int(want))] {
+			t.Fatalf("plane %d rate %v not below the covert plane's %v", i, rate,
+				r.Metrics[fmt.Sprintf("plane_rate_%d", int(want))])
+		}
+	}
+}
+
+// TestFabricSweep checks the port-contention sweep: queueing and error
+// rate must grow with competing streams while the accounting holds.
+func TestFabricSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fabricsweep runs four full channel setups on v100-dgx2; skipped in -short CI runs")
+	}
+	t.Parallel()
+	r, err := FabricSweep(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q0, q3 := r.Metrics["queue_cycles_0streams"], r.Metrics["queue_cycles_3streams"]
+	if q3 <= 2*q0 {
+		t.Fatalf("port queueing did not grow with competitors: %v cycles at 0 streams, %v at 3", q0, q3)
+	}
+	e0, e3 := r.Metrics["err_pct_0streams"], r.Metrics["err_pct_3streams"]
+	if e3 <= e0 {
+		t.Fatalf("contention did not degrade the channel: %v%% errors at 0 streams, %v%% at 3", e0, e3)
+	}
+	for k := 0; k < fabricsweepStreams; k++ {
+		cur := r.Metrics[fmt.Sprintf("plane_txns_%dstreams", k)]
+		next := r.Metrics[fmt.Sprintf("plane_txns_%dstreams", k+1)]
+		if next <= cur {
+			t.Fatalf("covert-plane traffic not increasing with streams: %v txns at %d, %v at %d",
+				cur, k, next, k+1)
+		}
+	}
+	for _, l := range r.Lines {
+		if strings.Contains(l, "ACCOUNTING ERROR") {
+			t.Fatalf("plane/link accounting diverged: %s", l)
+		}
+	}
+	if bw := r.Metrics["bw_MBps_0streams"]; bw <= 0 {
+		t.Fatalf("no covert bandwidth on the quiet fabric: %v MB/s", bw)
 	}
 }
 
@@ -261,11 +352,11 @@ func TestMIG(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Metrics["baseline_aligned"] != 1 {
-		t.Error("attack should succeed on the stock machine")
+	if got := r.Metrics["baseline_aligned"]; got != 1 {
+		t.Fatalf("attack should succeed on the stock machine: baseline_aligned = %v", got)
 	}
-	if r.Metrics["mig_aligned"] != 0 {
-		t.Error("attack should fail under MIG partitioning")
+	if got := r.Metrics["mig_aligned"]; got != 0 {
+		t.Fatalf("attack should fail under MIG partitioning: mig_aligned = %v", got)
 	}
 }
 

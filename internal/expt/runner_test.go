@@ -92,14 +92,20 @@ func TestParallelDeterminism(t *testing.T) {
 	cases := []struct {
 		id    string
 		run   func(Params) (*Result, error)
-		heavy bool // skipped under -short; the four light cases always run
+		arch  string // architecture profile; empty means p100-dgx1
+		heavy bool   // skipped under -short; the four light cases always run
 	}{
-		{"fig9", Fig9, false},
-		{"fig11", Fig11, false},
-		{"table2", TableII, true},
-		{"mig", MIG, false},
-		{"pairs", Pairs, false},
-		{"archsweep", ArchSweep, true},
+		{"fig9", Fig9, "", false},
+		{"fig11", Fig11, "", false},
+		{"table2", TableII, "", true},
+		{"mig", MIG, "", false},
+		{"pairs", Pairs, "", false},
+		{"archsweep", ArchSweep, "", true},
+		// The switch-fabric cases: port-queue state is per-machine and
+		// arrival-ordered by the engine, so contention delays must not
+		// vary with the worker-pool size either.
+		{"fabricsweep", FabricSweep, "", true},
+		{"sec7-v100", SecVII, "v100-dgx2", true},
 	}
 	for _, c := range cases {
 		c := c
@@ -109,7 +115,7 @@ func TestParallelDeterminism(t *testing.T) {
 			}
 			t.Parallel()
 			render := func(parallel int) (string, map[string]float64, map[string][]byte) {
-				r, err := c.run(Params{Seed: 20230612, Scale: Small, Parallel: parallel})
+				r, err := c.run(Params{Seed: 20230612, Scale: Small, Parallel: parallel, Arch: c.arch})
 				if err != nil {
 					t.Fatalf("parallel=%d: %v", parallel, err)
 				}

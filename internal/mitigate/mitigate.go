@@ -117,16 +117,20 @@ type LinkSnapshot map[[2]arch.DeviceID]uint64
 
 // Detector watches NVLink traffic for the signature of a cross-GPU
 // cache attack: a sustained stream of fine-grained (cache-line-sized)
-// remote transactions on one link. Sec. VII proposes exactly this.
+// remote transactions on one link. Sec. VII proposes exactly this. On
+// switch-based boxes it additionally tracks per-plane counters, which
+// is what lets the defense say *which switch plane* a stream rides.
 type Detector struct {
-	topo *nvlink.Topology
-	prev LinkSnapshot
+	topo       *nvlink.Topology
+	prev       LinkSnapshot
+	prevPlanes []uint64
 }
 
 // NewDetector starts watching the fabric from its current state.
 func NewDetector(topo *nvlink.Topology) *Detector {
 	d := &Detector{topo: topo}
 	d.prev = d.snapshot()
+	d.prevPlanes = d.planeSnapshot()
 	return d
 }
 
@@ -134,6 +138,18 @@ func (d *Detector) snapshot() LinkSnapshot {
 	s := make(LinkSnapshot)
 	for _, l := range d.topo.Links() {
 		s[[2]arch.DeviceID{l.A, l.B}] = l.Transactions
+	}
+	return s
+}
+
+func (d *Detector) planeSnapshot() []uint64 {
+	planes := d.topo.Planes()
+	if len(planes) == 0 {
+		return nil
+	}
+	s := make([]uint64, len(planes))
+	for i, p := range planes {
+		s[i] = p.Transactions
 	}
 	return s
 }
@@ -146,6 +162,9 @@ type Observation struct {
 	MaxLink [2]arch.DeviceID
 	// TotalTxns sums all links.
 	TotalTxns uint64
+	// PlaneTxns holds per-switch-plane transaction counts for the
+	// window; nil on point-to-point boxes without a fabric.
+	PlaneTxns []uint64
 }
 
 // Sample closes the current window and opens the next, returning the
@@ -162,6 +181,13 @@ func (d *Detector) Sample() Observation {
 		}
 	}
 	d.prev = cur
+	if planes := d.planeSnapshot(); planes != nil {
+		obs.PlaneTxns = make([]uint64, len(planes))
+		for i, v := range planes {
+			obs.PlaneTxns[i] = v - d.prevPlanes[i]
+		}
+		d.prevPlanes = planes
+	}
 	return obs
 }
 
@@ -218,6 +244,55 @@ func (s *Sampler) MedianMaxLinkRate() float64 {
 	}
 	sort.Float64s(rates)
 	return rates[len(rates)/2]
+}
+
+// PlaneMedianRates returns each switch plane's median per-subwindow
+// rate in transactions per Mcycle, or nil when the sampled topology
+// has no fabric (or no windows were recorded). The per-plane median is
+// the localization statistic: a covert stream is pinned to one plane,
+// so exactly that plane stays hot across subwindows.
+func (s *Sampler) PlaneMedianRates() []float64 {
+	if len(s.windows) == 0 || len(s.windows[0].PlaneTxns) == 0 {
+		return nil
+	}
+	out := make([]float64, len(s.windows[0].PlaneTxns))
+	rates := make([]float64, len(s.windows))
+	for p := range out {
+		for i, w := range s.windows {
+			rates[i] = RatePerMCycle(w.PlaneTxns[p], s.interval)
+		}
+		sort.Float64s(rates)
+		out[p] = rates[len(rates)/2]
+	}
+	return out
+}
+
+// localizeDominance is how many times hotter than the runner-up plane
+// the busiest plane must be before the stream counts as pinned there.
+const localizeDominance = 4.0
+
+// LocalizePlane names the switch plane a sustained stream is pinned
+// to: the plane with the highest median subwindow rate, provided that
+// rate clears the detection threshold and dominates every other plane
+// by localizeDominance. Returns (-1, 0) when no plane qualifies (no
+// fabric, no sustained stream, or traffic spread across planes).
+func (s *Sampler) LocalizePlane(thresholdPerMCycle float64) (plane int, rate float64) {
+	med := s.PlaneMedianRates()
+	best, second := -1, 0.0
+	for p, r := range med {
+		if best < 0 || r > med[best] {
+			if best >= 0 {
+				second = med[best]
+			}
+			best = p
+		} else if r > second {
+			second = r
+		}
+	}
+	if best < 0 || med[best] <= thresholdPerMCycle || med[best] < localizeDominance*second {
+		return -1, 0
+	}
+	return best, med[best]
 }
 
 // PeakMaxLinkRate returns the highest subwindow rate (what a naive

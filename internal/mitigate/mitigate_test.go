@@ -104,6 +104,91 @@ func TestDetectorWindows(t *testing.T) {
 	}
 }
 
+// TestDetectorPlaneWindows covers the switch-plane view on a fabric
+// box: per-plane deltas appear, land on the pair's pinned plane, and
+// sum to the window total.
+func TestDetectorPlaneWindows(t *testing.T) {
+	prof := arch.V100DGX2()
+	m := sim.MustNewMachine(sim.Options{Seed: 15, Profile: &prof, NoiseOff: true})
+	det := NewDetector(m.Topology())
+	if obs := det.Sample(); len(obs.PlaneTxns) != prof.Fabric.Planes {
+		t.Fatalf("quiet window has %d plane slots, want %d", len(obs.PlaneTxns), prof.Fabric.Planes)
+	}
+	p := cudart.MustNewProcess(m, 1, 16)
+	if err := p.EnablePeerAccess(0); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := p.MallocOnDevice(0, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Launch("remote", 0, func(k *cudart.Kernel) {
+		k.Stream(buf, 512, prof.L2LineSize)
+	})
+	m.Run()
+	obs := det.Sample()
+	plane := m.Topology().PlaneFor(1, 0)
+	var sum uint64
+	for i, v := range obs.PlaneTxns {
+		sum += v
+		if i != plane && v != 0 {
+			t.Errorf("plane %d saw %d txns; all traffic belongs on plane %d", i, v, plane)
+		}
+	}
+	if obs.PlaneTxns[plane] != 512 {
+		t.Errorf("pinned plane saw %d txns, want 512", obs.PlaneTxns[plane])
+	}
+	if sum != obs.TotalTxns {
+		t.Errorf("plane deltas sum to %d, window total is %d", sum, obs.TotalTxns)
+	}
+	// P100 boxes have no planes: Observation stays link-only.
+	flat := sim.MustNewMachine(sim.Options{Seed: 17, NoiseOff: true})
+	if obs := NewDetector(flat.Topology()).Sample(); obs.PlaneTxns != nil {
+		t.Error("point-to-point box reported plane counters")
+	}
+}
+
+// TestSamplerLocalizePlane drives sustained remote traffic on one
+// plane and checks the localization verdict, then checks a quiet
+// sampler refuses to localize.
+func TestSamplerLocalizePlane(t *testing.T) {
+	prof := arch.V100DGX2()
+	m := sim.MustNewMachine(sim.Options{Seed: 18, Profile: &prof, NoiseOff: true})
+	s := NewSampler(m.Topology(), 100_000)
+	if plane, _ := s.LocalizePlane(100); plane != -1 {
+		t.Error("empty sampler localized a plane")
+	}
+	done := false
+	if err := s.Launch(m, 7, 19, func() bool { return done }); err != nil {
+		t.Fatal(err)
+	}
+	p := cudart.MustNewProcess(m, 1, 20)
+	if err := p.EnablePeerAccess(0); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := p.MallocOnDevice(0, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Launch("probe-stream", 0, func(k *cudart.Kernel) {
+		for i := 0; i < 40; i++ {
+			k.Stream(buf, 512, prof.L2LineSize)
+			k.Yield()
+		}
+		done = true
+	})
+	m.Run()
+	want := m.Topology().PlaneFor(1, 0)
+	plane, rate := s.LocalizePlane(100)
+	if plane != want {
+		t.Fatalf("localized plane %d (rate %.0f), want %d; medians %v",
+			plane, rate, want, s.PlaneMedianRates())
+	}
+	if rate <= 100 {
+		t.Errorf("localized rate %.0f did not clear the threshold", rate)
+	}
+}
+
 func TestRateAndDetect(t *testing.T) {
 	if got := RatePerMCycle(500, 1_000_000); got != 500 {
 		t.Errorf("rate = %v", got)

@@ -1,0 +1,57 @@
+package nvlink
+
+import (
+	"testing"
+
+	"spybox/internal/arch"
+)
+
+// BenchmarkFabricTraversal compares the flat point-to-point hop charge
+// against the two-stage switch fabric, uncontended and with four
+// streams contending for one egress port. ns/op is the model's cost
+// per remote transaction — the fabric may not make remote accesses
+// meaningfully more expensive to simulate.
+func BenchmarkFabricTraversal(b *testing.B) {
+	b.Run("flat-hop", func(b *testing.B) {
+		topo := DGX1()
+		for i := 0; i < b.N; i++ {
+			if _, err := topo.Traverse(0, 1, arch.CacheLineSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("two-stage", func(b *testing.B) {
+		topo, err := FromProfile(arch.V100DGX2())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hop := arch.V100DGX2().Lat.NVLinkHop
+		now := arch.Cycles(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := topo.Traverse(1, 0, arch.CacheLineSize); err != nil {
+				b.Fatal(err)
+			}
+			topo.ReserveBurst(1, 0, 1, now)
+			now += hop // uncontended cadence: the port always drains
+		}
+	})
+	b.Run("two-stage-contended", func(b *testing.B) {
+		topo, err := FromProfile(arch.V100DGX2())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Four sources share GPU0's plane-1 ingress port ((src+0) mod 6
+		// == 1), arriving back to back: every burst exercises the
+		// queue-wait path.
+		srcs := []arch.DeviceID{1, 7, 13, 1}
+		now := arch.Cycles(0)
+		for i := 0; i < b.N; i++ {
+			src := srcs[i%len(srcs)]
+			if _, err := topo.Traverse(src, 0, arch.CacheLineSize); err != nil {
+				b.Fatal(err)
+			}
+			topo.ReserveBurst(src, 0, 8, now)
+			now++
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package nvlink
+
+import (
+	"testing"
+
+	"spybox/internal/arch"
+)
+
+// fabricTopo builds the DGX-2 profile's two-stage fabric topology.
+func fabricTopo(t *testing.T) (*Topology, arch.Profile) {
+	t.Helper()
+	prof := arch.V100DGX2()
+	topo, err := FromProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, prof
+}
+
+func TestFabricShape(t *testing.T) {
+	topo, prof := fabricTopo(t)
+	if !topo.HasFabric() {
+		t.Fatal("v100-dgx2 topology has no fabric")
+	}
+	if got := topo.NumPlanes(); got != prof.Fabric.Planes {
+		t.Errorf("NumPlanes = %d, want %d", got, prof.Fabric.Planes)
+	}
+	for src := arch.DeviceID(0); int(src) < prof.NumGPUs; src++ {
+		for dst := arch.DeviceID(0); int(dst) < prof.NumGPUs; dst++ {
+			p := topo.PlaneFor(src, dst)
+			if p < 0 || p >= prof.Fabric.Planes {
+				t.Fatalf("PlaneFor(%v,%v) = %d out of range", src, dst, p)
+			}
+			if q := topo.PlaneFor(dst, src); q != p {
+				t.Errorf("plane pinning not symmetric: %v-%v on %d, reverse on %d", src, dst, p, q)
+			}
+		}
+	}
+	// Point-to-point boxes have no planes.
+	flat := DGX1()
+	if flat.HasFabric() || flat.NumPlanes() != 0 || flat.PlaneFor(0, 1) != -1 {
+		t.Error("DGX-1 should have no switch fabric")
+	}
+	if flat.ReserveBurst(0, 1, 8, 100) != 0 {
+		t.Error("flat topology charged a port queue delay")
+	}
+}
+
+// TestFabricPortSerialization is the contention contract: concurrent
+// bursts through one port serialize FIFO, with each burst's wait
+// growing with the queue depth ahead of it; disjoint planes never
+// interact; local traffic never touches a port.
+func TestFabricPortSerialization(t *testing.T) {
+	cases := []struct {
+		name string
+		// bursts arrive in order at the same cycle; each names its
+		// endpoints and line count.
+		bursts [][3]int // src, dst, n
+		// wantWaits is the expected queue delay per burst, in units of
+		// the profile's PortService (computed below).
+		wantWaits []int // in transactions of backlog
+	}{
+		{
+			name:      "three bursts one port serialize",
+			bursts:    [][3]int{{1, 0, 4}, {1, 0, 4}, {1, 0, 4}},
+			wantWaits: []int{0, 4, 8},
+		},
+		{
+			name: "same plane, different ports, no interaction",
+			// (1,0) and (7,6) both ride plane 1 on the DGX-2 pinning
+			// ((src+dst) mod 6) but share no GPU-side port.
+			bursts:    [][3]int{{1, 0, 4}, {7, 6, 4}},
+			wantWaits: []int{0, 0},
+		},
+		{
+			name: "disjoint planes do not interact",
+			// (1,0) is plane 1; (2,3) is plane 5: different planes AND
+			// different ports.
+			bursts:    [][3]int{{1, 0, 8}, {2, 3, 8}, {1, 0, 8}},
+			wantWaits: []int{0, 0, 8},
+		},
+		{
+			name: "shared ingress port contends",
+			// 1->0 and 13->0 both land on GPU0's plane-1 ingress port
+			// ((13+0) mod 6 == 1); the second burst queues there even
+			// though the egress ports differ.
+			bursts:    [][3]int{{1, 0, 6}, {13, 0, 6}},
+			wantWaits: []int{0, 6},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			topo, prof := fabricTopo(t)
+			const now = arch.Cycles(1000)
+			for i, b := range c.bursts {
+				got := topo.ReserveBurst(arch.DeviceID(b[0]), arch.DeviceID(b[1]), b[2], now)
+				want := arch.Cycles(c.wantWaits[i]) * prof.Fabric.PortService
+				if got != want {
+					t.Errorf("burst %d (%d->%d, n=%d): wait %d, want %d",
+						i, b[0], b[1], b[2], got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestFabricBurstEdgeCases(t *testing.T) {
+	topo, _ := fabricTopo(t)
+	if topo.ReserveBurst(0, 0, 8, 0) != 0 {
+		t.Error("local burst charged a queue delay")
+	}
+	if topo.ReserveBurst(0, 1, 0, 0) != 0 {
+		t.Error("empty burst charged a queue delay")
+	}
+	// A later arrival after the backlog drains waits nothing.
+	topo.ReserveBurst(1, 0, 4, 0)
+	free := arch.Cycles(4) * arch.V100DGX2().Fabric.PortService
+	if got := topo.ReserveBurst(1, 0, 4, free); got != 0 {
+		t.Errorf("burst arriving at drain time waited %d", got)
+	}
+}
+
+// TestFabricPlaneCountersSumToTraversals pins the accounting
+// invariant: every traversal lands on exactly one plane, so plane
+// counters sum to the link totals.
+func TestFabricPlaneCountersSumToTraversals(t *testing.T) {
+	topo, prof := fabricTopo(t)
+	pairs := [][2]arch.DeviceID{{0, 1}, {1, 0}, {2, 6}, {7, 3}, {15, 14}, {4, 4}}
+	traversals := 0
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			continue // Traverse rejects self pairs; skip
+		}
+		for j := 0; j <= i; j++ {
+			if _, err := topo.Traverse(p[0], p[1], prof.L2LineSize); err != nil {
+				t.Fatal(err)
+			}
+			traversals++
+		}
+	}
+	if got := topo.TotalTransactions(); got != uint64(traversals) {
+		t.Errorf("link total %d, want %d", got, traversals)
+	}
+	if got := topo.TotalPlaneTransactions(); got != uint64(traversals) {
+		t.Errorf("plane total %d, want %d (planes must sum to traversals)", got, traversals)
+	}
+	// The pinned plane carries exactly its pair's share.
+	if got := topo.Planes()[topo.PlaneFor(0, 1)].Transactions; got != 3 {
+		t.Errorf("plane for 0-1 carries %d txns, want 3 (1x 0->1 + 2x 1->0)", got)
+	}
+	topo.ResetStats()
+	if topo.TotalPlaneTransactions() != 0 || topo.TotalTransactions() != 0 {
+		t.Error("ResetStats left plane or link counters nonzero")
+	}
+}
+
+// TestFabricTraversalLatency checks the two-stage split replaces the
+// flat hop without moving the uncontended total.
+func TestFabricTraversalLatency(t *testing.T) {
+	topo, prof := fabricTopo(t)
+	lat, err := topo.Traverse(0, 1, prof.L2LineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := prof.Fabric.TraversalLat(); lat != want {
+		t.Errorf("two-stage traversal = %v, want egress+switch+ingress = %v", lat, want)
+	}
+	if lat != prof.Lat.NVLinkHop {
+		t.Errorf("uncontended two-stage cost %v != flat NVLinkHop %v: timing clusters would move", lat, prof.Lat.NVLinkHop)
+	}
+}
+
+// TestFabricPortStatsAndClockReset covers the port statistics the
+// fabricsweep experiment reports and the per-run clock reset.
+func TestFabricPortStatsAndClockReset(t *testing.T) {
+	topo, prof := fabricTopo(t)
+	plane := topo.PlaneFor(1, 0)
+	topo.ReserveBurst(1, 0, 4, 0)
+	topo.ReserveBurst(1, 0, 4, 0) // queues behind the first
+	eg := topo.EgressPort(1, plane)
+	if eg.Bursts != 2 || eg.Queued != 1 {
+		t.Errorf("egress port stats: %d bursts, %d queued; want 2, 1", eg.Bursts, eg.Queued)
+	}
+	if eg.QueueCycles != 4*prof.Fabric.PortService {
+		t.Errorf("queue cycles %d, want %d", eg.QueueCycles, 4*prof.Fabric.PortService)
+	}
+	in := topo.IngressPort(0, plane)
+	if in.Bursts != 2 {
+		t.Errorf("ingress port saw %d bursts, want 2", in.Bursts)
+	}
+	// ResetPortClocks clears backlog but keeps statistics: a fresh
+	// kernel epoch starts with free ports.
+	topo.ResetPortClocks()
+	if got := topo.ReserveBurst(1, 0, 4, 0); got != 0 {
+		t.Errorf("post-reset burst waited %d; stale backlog survived the run boundary", got)
+	}
+	if eg.Bursts != 3 || eg.Queued != 1 {
+		t.Errorf("ResetPortClocks touched statistics: %d bursts, %d queued", eg.Bursts, eg.Queued)
+	}
+	topo.ResetStats()
+	if eg.Bursts != 0 || eg.Queued != 0 || eg.QueueCycles != 0 {
+		t.Error("ResetStats left port statistics nonzero")
+	}
+}

@@ -30,11 +30,14 @@ type Link struct {
 }
 
 // Topology is the static link graph of the box plus its counters.
+// Switch-based boxes additionally carry a two-stage fabric (fabric.go)
+// with per-plane counters and per-port contention state.
 type Topology struct {
 	links   []*Link
 	adj     [][]*Link // numGPUs x numGPUs
 	numGPUs int
-	hopLat  arch.Cycles // round-trip cost per traversal
+	hopLat  arch.Cycles // round-trip cost per traversal (flat path)
+	fab     *fabric     // nil on point-to-point boxes
 }
 
 // newTopology allocates the adjacency for n GPUs with the default
@@ -117,6 +120,12 @@ func FromProfile(p arch.Profile) (*Topology, error) {
 	if p.Lat.NVLinkHop > 0 {
 		t.hopLat = p.Lat.NVLinkHop
 	}
+	if p.Fabric.Enabled() {
+		if p.Topology != arch.TopoAllToAll {
+			return nil, fmt.Errorf("nvlink: profile %q: a switch-plane fabric requires an all-to-all topology", p.Name)
+		}
+		t.attachFabric(p.Fabric)
+	}
 	return t, nil
 }
 
@@ -189,6 +198,13 @@ func (t *Topology) Links() []*Link { return t.links }
 // latency contribution. It returns an error if no direct link exists;
 // the runtime surfaces this exactly like the CUDA peer-access error
 // the paper mentions.
+//
+// On a switch fabric the transaction is additionally charged to its
+// pinned plane and the latency is the two-stage traversal (egress +
+// switch + ingress). Port queueing is not charged here — callers
+// account a whole burst at once through ReserveBurst, so per-line
+// latencies stay clean for timing classification while the backlog
+// surfaces on the event's total.
 func (t *Topology) Traverse(src, dst arch.DeviceID, payload int) (arch.Cycles, error) {
 	l := t.LinkBetween(src, dst)
 	if l == nil {
@@ -196,13 +212,33 @@ func (t *Topology) Traverse(src, dst arch.DeviceID, payload int) (arch.Cycles, e
 	}
 	l.Transactions++
 	l.Bytes += uint64(payload)
+	if t.fab != nil {
+		p := t.fab.planes[t.PlaneFor(src, dst)]
+		p.Transactions++
+		p.Bytes += uint64(payload)
+		return t.fab.cfg.TraversalLat(), nil
+	}
 	return t.hopLat, nil
 }
 
-// ResetStats zeroes every link's traffic counters.
+// ResetStats zeroes every link's, plane's, and port's traffic
+// counters. Port service-slot times are simulation clock state, not
+// statistics, and are left alone.
 func (t *Topology) ResetStats() {
 	for _, l := range t.links {
 		l.Transactions, l.Bytes = 0, 0
+	}
+	if t.fab != nil {
+		for _, p := range t.fab.planes {
+			p.Transactions, p.Bytes = 0, 0
+		}
+		for _, ports := range [][][]*Port{t.fab.egress, t.fab.ingress} {
+			for _, row := range ports {
+				for _, p := range row {
+					p.Bursts, p.Queued, p.QueueCycles = 0, 0, 0
+				}
+			}
+		}
 	}
 }
 

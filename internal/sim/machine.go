@@ -57,6 +57,7 @@ type Machine struct {
 	lat           arch.LatencyModel
 	lineSize      int // L2 line bytes, from the cache geometry
 	noiseOff      bool
+	hasFabric     bool // gates burst tallying off the p100 hot path
 	contSigmaPer  float64
 	migPartitions int
 
@@ -115,6 +116,7 @@ func NewMachine(opts Options) (*Machine, error) {
 		lat:           prof.Lat,
 		lineSize:      opts.CacheCfg.LineSize,
 		noiseOff:      opts.NoiseOff,
+		hasFabric:     opts.Topology.HasFabric(),
 		contSigmaPer:  prof.Lat.ContentionSigmaPer,
 		migPartitions: opts.MIGPartitions,
 	}
@@ -306,10 +308,14 @@ func (m *Machine) Spawn(dev arch.DeviceID, name string, sharedMemBytes int, body
 
 // Run drives the machine until every spawned worker finishes. It is
 // the host-side synchronization point (cudaDeviceSynchronize across
-// the whole box).
+// the whole box). Fabric port clocks reset per run: kernel clocks all
+// start at zero, so backlog left by a previous run's kernels (whose
+// clocks ran far ahead) would otherwise stall this run's first bursts
+// for phantom cycles.
 func (m *Machine) Run() {
 	m.runMu.Lock()
 	defer m.runMu.Unlock()
+	m.topo.ResetPortClocks()
 	m.eng.runAll(m.service)
 }
 
@@ -398,6 +404,38 @@ func (w *Worker) Yield() {
 
 // --- Event service (engine goroutine, lock held) ---
 
+// homeBurst tallies one event's remote lines per home device so the
+// whole event can reserve fabric ports as a single burst. Almost every
+// event touches at most one remote home, so a tiny ordered slice beats
+// a map and keeps iteration deterministic.
+type homeBurst struct {
+	dev arch.DeviceID
+	n   int
+}
+
+// addBurst counts one remote line bound for dev.
+func addBurst(list []homeBurst, dev arch.DeviceID) []homeBurst {
+	for i := range list {
+		if list[i].dev == dev {
+			list[i].n++
+			return list
+		}
+	}
+	return append(list, homeBurst{dev: dev, n: 1})
+}
+
+// reserveBursts books switch-fabric port occupancy for the event's
+// remote lines (arriving at the worker's current clock) and returns
+// the total FIFO queue delay. Zero on point-to-point boxes, so the
+// P100 path is untouched.
+func (m *Machine) reserveBursts(w *Worker, bursts []homeBurst) arch.Cycles {
+	var wait arch.Cycles
+	for _, b := range bursts {
+		wait += m.topo.ReserveBurst(w.dev, b.dev, b.n, w.clock)
+	}
+	return wait
+}
+
 // service applies one request to shared hardware state.
 func (m *Machine) service(w *Worker, req *request) {
 	switch req.kind {
@@ -406,6 +444,10 @@ func (m *Machine) service(w *Worker, req *request) {
 	case opLoad:
 		lat, hit := m.accessLine(w, req.pa)
 		_ = hit
+		if home := req.pa.HomeDevice(); m.hasFabric && home != w.dev {
+			// A single load observes its own port backlog directly.
+			lat += m.topo.ReserveBurst(w.dev, home, 1, w.clock)
+		}
 		if req.loadData {
 			req.value = m.phys.ReadU64(req.pa)
 		}
@@ -415,6 +457,7 @@ func (m *Machine) service(w *Worker, req *request) {
 		req.lats = make([]arch.Cycles, len(req.pas))
 		req.hits = make([]bool, len(req.pas))
 		var maxLat arch.Cycles
+		var bursts []homeBurst
 		misses := 0
 		for i, pa := range req.pas {
 			lat, hit := m.accessLine(w, pa)
@@ -426,17 +469,25 @@ func (m *Machine) service(w *Worker, req *request) {
 			if lat > maxLat {
 				maxLat = lat
 			}
+			if home := pa.HomeDevice(); m.hasFabric && home != w.dev {
+				bursts = addBurst(bursts, home)
+			}
 		}
 		total := maxLat
 		if n := len(req.pas); n > 1 {
 			total += arch.Cycles(n-1) * m.lat.HitII
 		}
 		total += arch.Cycles(misses) * m.lat.MissII
+		// The warp's remote lines cross the fabric as one burst: the
+		// port backlog delays the probe as a whole, never one line's
+		// measured latency — classification stays clean under load.
+		total += m.reserveBursts(w, bursts)
 		req.misses = misses
 		req.lat = total
 		w.clock += total
 	case opStream:
 		var total arch.Cycles
+		var bursts []homeBurst
 		misses := 0
 		for i := 0; i < req.count; i++ {
 			pa := req.base + arch.PA(i*req.stride)
@@ -454,7 +505,13 @@ func (m *Machine) service(w *Worker, req *request) {
 					total += m.lat.MissII
 				}
 			}
+			if home := pa.HomeDevice(); m.hasFabric && home != w.dev {
+				bursts = addBurst(bursts, home)
+			}
 		}
+		// One streaming event is one fabric burst; its port occupancy
+		// is what backpressures co-scheduled streams on the same plane.
+		total += m.reserveBursts(w, bursts)
 		req.misses = misses
 		req.lat = total
 		w.clock += total
