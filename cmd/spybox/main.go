@@ -1,29 +1,39 @@
 // Command spybox regenerates the paper's tables and figures on a
 // simulated multi-GPU box (the paper's DGX-1 by default; see -arch).
+// It is a thin client of the public pkg/spybox library API — anything
+// it does, external programs can do too.
 //
 // Usage:
 //
-//	spybox list
-//	spybox run <id>[,<id>...]|all [-seed N] [-scale small|default|paper] [-arch PROFILE] [-parallel N] [-out DIR]
+//	spybox list [-json]
+//	spybox run <id>[,<id>...]|all [-seed N] [-scale SCALE] [-arch PROFILE]
+//	           [-parallel N] [-format text|json] [-out DIR] [-progress]
 //
-// Each experiment prints its report to stdout with its wall time; with
-// -out, chart data is also written as CSV into DIR. See README.md in
-// this directory for the full flag reference.
+// With -format text (the default) each experiment prints its report to
+// stdout with its wall time; -format json emits one schema-versioned
+// JSON document for the whole run instead. A SIGINT cancels the run at
+// the next trial boundary: completed experiments are kept (and still
+// encoded in JSON mode) and the exit status is non-zero. See README.md
+// in this directory for the full flag reference.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
-	"spybox/internal/arch"
-	"spybox/internal/expt"
-	"spybox/internal/plot"
+	"spybox/pkg/spybox"
+	"spybox/pkg/spybox/report"
 )
 
 func main() {
@@ -33,13 +43,12 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "list":
-		for _, e := range expt.Registry() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		if err := listCmd(os.Args[2:]); err != nil {
+			fail(err)
 		}
 	case "run":
 		if err := runCmd(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "spybox:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	default:
 		usage()
@@ -47,34 +56,62 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  spybox list
-  spybox run <id>[,<id>...]|all [-seed N] [-scale small|default|paper] [-arch PROFILE] [-parallel N] [-out DIR]`)
+// fail prints one "spybox:"-prefixed line and exits; library errors
+// already carry the prefix, which would otherwise double up.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "spybox:", strings.TrimPrefix(err.Error(), "spybox: "))
+	os.Exit(1)
 }
 
-// selectExperiments resolves a comma-separated ID list (or "all") to
-// registry entries, in the order given.
-func selectExperiments(ids string) ([]expt.Experiment, error) {
-	if ids == "all" {
-		return expt.Registry(), nil
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  spybox list [-json]
+  spybox run <id>[,<id>...]|all [-seed N] [-scale `+strings.Join(spybox.ScaleNames(), "|")+`] [-arch PROFILE] [-parallel N] [-format text|json] [-out DIR] [-progress]`)
+}
+
+func listCmd(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the experiment index as JSON (ID, title, trial decomposition, headline metric keys)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	var todo []expt.Experiment
+	infos := spybox.Experiments()
+	if *asJSON {
+		b, err := json.MarshalIndent(infos, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	for _, e := range infos {
+		fmt.Printf("%-8s %s\n", e.ID, e.Title)
+	}
+	return nil
+}
+
+// selectIDs resolves a comma-separated ID list (or "all") to
+// experiment IDs, validated and deduplicated in the order given.
+func selectIDs(ids string) ([]string, error) {
+	if ids == "all" {
+		var all []string
+		for _, e := range spybox.Experiments() {
+			all = append(all, e.ID)
+		}
+		return all, nil
+	}
+	var todo []string
 	seen := map[string]bool{}
 	for _, id := range strings.Split(ids, ",") {
 		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
-		}
-		if seen[id] {
+		if id == "" || seen[id] {
 			continue
 		}
 		seen[id] = true
-		e, ok := expt.Lookup(id)
-		if !ok {
+		if _, ok := spybox.LookupExperiment(id); !ok {
 			return nil, fmt.Errorf("unknown experiment %q (try 'spybox list')", id)
 		}
-		todo = append(todo, e)
+		todo = append(todo, id)
 	}
 	if len(todo) == 0 {
 		return nil, fmt.Errorf("no experiment IDs in %q", ids)
@@ -82,15 +119,39 @@ func selectExperiments(ids string) ([]expt.Experiment, error) {
 	return todo, nil
 }
 
+// progressEvents prints the session's event stream to stderr.
+func progressEvents(ev spybox.Event) {
+	switch ev.Kind {
+	case spybox.ExperimentStart:
+		fmt.Fprintf(os.Stderr, "spybox: %s: start — %s\n", ev.Experiment, ev.Title)
+	case spybox.ExperimentDone:
+		if ev.Err != nil {
+			fmt.Fprintf(os.Stderr, "spybox: %s: failed: %v\n", ev.Experiment, ev.Err)
+		} else {
+			fmt.Fprintf(os.Stderr, "spybox: %s: done\n", ev.Experiment)
+		}
+	case spybox.TrialStart:
+		fmt.Fprintf(os.Stderr, "spybox: %s: trial %d/%d start\n", ev.Experiment, ev.Trial+1, ev.Trials)
+	case spybox.TrialDone:
+		if ev.Err != nil {
+			fmt.Fprintf(os.Stderr, "spybox: %s: trial %d/%d failed: %v\n", ev.Experiment, ev.Trial+1, ev.Trials, ev.Err)
+		} else {
+			fmt.Fprintf(os.Stderr, "spybox: %s: trial %d/%d done\n", ev.Experiment, ev.Trial+1, ev.Trials)
+		}
+	}
+}
+
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	seed := fs.Uint64("seed", 20230612, "experiment seed (results are deterministic per seed)")
-	scaleStr := fs.String("scale", "default", "experiment scale: small, default, or paper")
-	archName := fs.String("arch", "", "architecture profile to simulate: "+strings.Join(arch.ProfileNames(), ", ")+
+	seed := fs.Uint64("seed", spybox.DefaultSeed, "experiment seed (results are deterministic per seed)")
+	scaleStr := fs.String("scale", "default", "experiment scale: "+strings.Join(spybox.ScaleNames(), ", "))
+	archName := fs.String("arch", "", "architecture profile to simulate: "+strings.Join(spybox.ProfileNames(), ", ")+
 		" (default p100-dgx1, the paper's machine)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker pool size for trial-decomposed experiments (results are identical at any value)")
-	outDir := fs.String("out", "", "directory for CSV chart data (optional)")
+	format := fs.String("format", "text", "output format: text (human reports) or json (one schema-versioned document)")
+	outDir := fs.String("out", "", "directory for CSV chart data and artifacts (optional)")
+	progress := fs.Bool("progress", false, "print per-experiment and per-trial progress to stderr")
 	if len(args) == 0 {
 		return fmt.Errorf("run: missing experiment ID (try 'spybox list' or 'all')")
 	}
@@ -98,66 +159,117 @@ func runCmd(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	scale, err := expt.ParseScale(*scaleStr)
+	scale, err := spybox.ParseScale(*scaleStr)
 	if err != nil {
 		return err
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("run: -parallel must be >= 1 (got %d)", *parallel)
 	}
-	params := expt.Params{Seed: *seed, Scale: scale, Parallel: *parallel, Arch: *archName}
-	if _, err := params.ArchProfile(); err != nil {
-		return err
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("run: unknown format %q (text|json)", *format)
 	}
-
-	todo, err := selectExperiments(ids)
+	cfg := spybox.Config{Seed: *seed, Scale: scale, Parallel: *parallel, Arch: *archName}
+	if *progress {
+		cfg.Events = progressEvents
+	}
+	sess, err := spybox.Open(cfg)
 	if err != nil {
 		return err
 	}
+	todo, err := selectIDs(ids)
+	if err != nil {
+		return err
+	}
+
+	// A SIGINT (or SIGTERM) cancels the run at the next trial
+	// boundary instead of killing in-flight work on the floor. The
+	// first signal only cancels the context; restoring the default
+	// disposition right after means a second signal kills the process
+	// the old-fashioned way (an uncancellable trial can't trap the
+	// user).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	var results []*spybox.Result
+	var runErr error
 	total := time.Now()
-	for _, e := range todo {
+	for _, id := range todo {
 		start := time.Now()
-		res, err := e.Run(params)
+		res, err := sess.Run(ctx, id)
+		results = append(results, res...)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			runErr = err
+			break
 		}
-		res.Print(os.Stdout)
-		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
-		if *outDir != "" {
-			if len(res.Series) > 0 {
-				if err := writeCSV(*outDir, res); err != nil {
-					return err
-				}
-			}
-			// Sorted order: map iteration would shuffle the output
-			// between otherwise identical runs.
-			names := make([]string, 0, len(res.Artifacts))
-			for name := range res.Artifacts {
-				names = append(names, name)
-			}
-			sort.Strings(names)
-			if len(names) > 0 {
-				if err := os.MkdirAll(*outDir, 0o755); err != nil {
-					return err
-				}
-			}
-			for _, name := range names {
-				path := filepath.Join(*outDir, name)
-				if err := os.WriteFile(path, res.Artifacts[name], 0o644); err != nil {
-					return err
-				}
-				fmt.Printf("(artifact written to %s)\n", path)
-			}
+		if *format == "text" {
+			res[0].Print(os.Stdout)
+			fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+		if err := writeOutputs(*outDir, res[0], *format == "text"); err != nil {
+			return err
 		}
 	}
-	if len(todo) > 1 {
+	if *format == "text" && runErr == nil && len(todo) > 1 {
 		fmt.Printf("(%d experiments completed in %.1fs, -parallel %d)\n",
 			len(todo), time.Since(total).Seconds(), *parallel)
+	}
+	if *format == "json" {
+		// The document still carries every completed result when the
+		// run was interrupted: partial output is labelled, not lost.
+		if err := report.Encode(os.Stdout, results...); err != nil {
+			return err
+		}
+	}
+	var interrupted *spybox.InterruptedError
+	if errors.As(runErr, &interrupted) {
+		return fmt.Errorf("run interrupted after %d/%d experiments: %v",
+			len(results), len(todo), interrupted.Cause)
+	}
+	return runErr
+}
+
+// writeOutputs persists a result's chart data and binary artifacts
+// under dir (no-op when dir is empty). Notes print only in text mode
+// so JSON output stays a single well-formed document on stdout.
+func writeOutputs(dir string, res *spybox.Result, notes bool) error {
+	if dir == "" {
+		return nil
+	}
+	if len(res.Series) > 0 {
+		if err := writeCSV(dir, res, notes); err != nil {
+			return err
+		}
+	}
+	// Sorted order: map iteration would shuffle the output between
+	// otherwise identical runs.
+	names := make([]string, 0, len(res.Artifacts))
+	for name := range res.Artifacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, res.Artifacts[name], 0o644); err != nil {
+			return err
+		}
+		if notes {
+			fmt.Printf("(artifact written to %s)\n", path)
+		}
 	}
 	return nil
 }
 
-func writeCSV(dir string, res *expt.Result) error {
+func writeCSV(dir string, res *spybox.Result, notes bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -166,7 +278,7 @@ func writeCSV(dir string, res *expt.Result) error {
 	if err != nil {
 		return err
 	}
-	if err := plot.CSV(f, res.Series); err != nil {
+	if err := report.CSV(f, res.Series); err != nil {
 		f.Close()
 		return err
 	}
@@ -175,6 +287,8 @@ func writeCSV(dir string, res *expt.Result) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
-	fmt.Printf("(chart data written to %s)\n\n", path)
+	if notes {
+		fmt.Printf("(chart data written to %s)\n\n", path)
+	}
 	return nil
 }

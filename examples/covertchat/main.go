@@ -1,6 +1,7 @@
 // Covertchat: sends a message from a trojan on GPU0 to a spy on GPU1
 // through L2 cache contention — the paper's Sec. IV attack end to
 // end: discovery, cross-process alignment, transmission, decode.
+// Built entirely on the public pkg/spybox machine-scripting API.
 //
 // Usage: covertchat [-sets N] [-msg TEXT]
 package main
@@ -10,8 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	"spybox/internal/core"
-	"spybox/internal/sim"
+	"spybox/pkg/spybox"
 )
 
 func main() {
@@ -19,18 +19,18 @@ func main() {
 	msg := flag.String("msg", "Hello! How are you?", "message to transmit covertly")
 	flag.Parse()
 
-	m := sim.MustNewMachine(sim.Options{Seed: 1234})
-	prof, err := core.CharacterizeTiming(m, 0, 1, 48, 5)
+	m := spybox.MustNewMachine(spybox.MachineOptions{Seed: 1234})
+	prof, err := spybox.CharacterizeTiming(m, 0, 1, 48, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("discovering eviction sets (trojan on GPU0, spy on GPU1)...")
-	trojan, err := core.NewAttacker(m, 0, 0, 256, prof.Thresholds, 11)
+	trojan, err := spybox.NewAttacker(m, 0, 0, 256, prof.Thresholds, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
-	spy, err := core.NewAttacker(m, 1, 0, 256, prof.Thresholds, 22)
+	spy, err := spybox.NewAttacker(m, 1, 0, 256, prof.Thresholds, 22)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,14 +44,14 @@ func main() {
 	}
 
 	fmt.Printf("aligning %d cache-set channels across processes...\n", *numSets)
-	pairs, err := core.AlignChannels(trojan, spy,
+	pairs, err := spybox.AlignChannels(trojan, spy,
 		trojan.AllEvictionSets(tg, trojan.Ways()),
 		spy.AllEvictionSets(sg, spy.Ways()), *numSets)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	ch, err := core.NewChannel(trojan, spy, pairs, core.DefaultCovertConfig())
+	ch, err := spybox.NewChannel(trojan, spy, pairs, spybox.DefaultCovertConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func main() {
 	}
 
 	fmt.Printf("\ntrojan sent:  %q\n", *msg)
-	fmt.Printf("spy received: %q\n", string(core.BitsToBytes(tx.ReceivedBits)))
+	fmt.Printf("spy received: %q\n", string(spybox.BitsToBytes(tx.ReceivedBits)))
 	fmt.Printf("bit errors:   %d/%d (%.2f%%)\n", tx.BitErrors, len(tx.SentBits), 100*tx.ErrorRate())
 	fmt.Printf("bandwidth:    %.4f MB/s over %d sets (%.2f ms of GPU time)\n",
 		tx.BandwidthMBps(), *numSets, 1000*tx.Duration.Seconds())

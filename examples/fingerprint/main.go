@@ -1,7 +1,7 @@
 // Fingerprint: spies on a victim application running on GPU0 from
 // GPU1 and renders its memorygram (the paper's Fig. 11), then guesses
 // which of the six applications it was by matching against freshly
-// collected reference samples.
+// collected reference samples. Built on the public pkg/spybox API.
 //
 // Usage: fingerprint [-app NAME]
 package main
@@ -11,23 +11,19 @@ import (
 	"fmt"
 	"log"
 
-	"spybox/internal/classify"
-	"spybox/internal/core"
-	"spybox/internal/memgram"
-	"spybox/internal/sim"
-	"spybox/internal/victim"
+	"spybox/pkg/spybox"
 )
 
 func main() {
 	appName := flag.String("app", "matmul", "victim application (vectoradd, histogram, blackscholes, matmul, quasirandom, walshtransform)")
 	flag.Parse()
 
-	m := sim.MustNewMachine(sim.Options{Seed: 77})
-	prof, err := core.CharacterizeTiming(m, 0, 1, 48, 3)
+	m := spybox.MustNewMachine(spybox.MachineOptions{Seed: 77})
+	prof, err := spybox.CharacterizeTiming(m, 0, 1, 48, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	spy, err := core.NewAttacker(m, 1, 0, 256, prof.Thresholds, 31)
+	spy, err := spybox.NewAttacker(m, 1, 0, 256, prof.Thresholds, 31)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,20 +32,20 @@ func main() {
 		log.Fatal(err)
 	}
 	all := spy.AllEvictionSets(sg, spy.Ways())
-	monitored := make([]core.EvictionSet, 0, 128)
+	monitored := make([]spybox.EvictionSet, 0, 128)
 	for i := 0; i < 128; i++ {
 		monitored = append(monitored, all[i*len(all)/128])
 	}
-	vcfg := victim.Config{ArrayKB: 256, Passes: 400, ChunkDelay: 2500}
+	vcfg := spybox.VictimConfig{ArrayKB: 256, Passes: 400, ChunkDelay: 2500}
 
-	record := func(name string, seed uint64) *memgram.Gram {
-		app, err := victim.NewApp(name, m, 0, seed, vcfg)
+	record := func(name string, seed uint64) *spybox.Memorygram {
+		app, err := spybox.NewVictimApp(name, m, 0, seed, vcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		victimDone, monitorDone := false, false
 		app.Stop = &monitorDone
-		res, err := spy.MonitorConcurrent(monitored, core.MonitorOptions{
+		res, err := spy.MonitorConcurrent(monitored, spybox.MonitorOptions{
 			Epochs:    56,
 			StopEarly: func() bool { return victimDone },
 			DoneFlag:  &monitorDone,
@@ -60,7 +56,7 @@ func main() {
 		for _, al := range app.Proc.Space().Allocs() {
 			app.Proc.Free(al.Base)
 		}
-		g, err := memgram.New(res.Miss, name)
+		g, err := spybox.NewMemorygram(res.Miss, name)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,17 +68,17 @@ func main() {
 	fmt.Println(target.RenderASCII(72, 18))
 
 	fmt.Println("collecting reference samples for all six applications...")
-	var train []classify.Sample
-	for class, name := range victim.AppNames {
+	var train []spybox.ClassifySample
+	for class, name := range spybox.VictimAppNames() {
 		for s := 0; s < 6; s++ {
 			g := record(name, uint64(1000*class+s))
-			train = append(train, classify.Sample{X: g.Features(), Y: class})
+			train = append(train, spybox.ClassifySample{X: g.Features(), Y: class})
 		}
 	}
-	knn, err := classify.NewKNN(3, train)
+	knn, err := spybox.NewKNN(3, train)
 	if err != nil {
 		log.Fatal(err)
 	}
 	guess := knn.Predict(target.Features())
-	fmt.Printf("\nclassifier's guess: %q (truth: %q)\n", victim.AppNames[guess], *appName)
+	fmt.Printf("\nclassifier's guess: %q (truth: %q)\n", spybox.VictimAppNames()[guess], *appName)
 }

@@ -1,6 +1,7 @@
 // Modelextract: spies on an MLP being trained on GPU0 and recovers
 // its hidden-layer width from the remote L2 miss intensity — the
-// paper's Sec. V-B / Table II attack.
+// paper's Sec. V-B / Table II attack. Built on the public pkg/spybox
+// API.
 //
 // Usage: modelextract [-hidden N]
 package main
@@ -10,22 +11,19 @@ import (
 	"fmt"
 	"log"
 
-	"spybox/internal/core"
-	"spybox/internal/memgram"
-	"spybox/internal/sim"
-	"spybox/internal/victim"
+	"spybox/pkg/spybox"
 )
 
 func main() {
 	hidden := flag.Int("hidden", 256, "the victim's secret hidden-layer width (64, 128, 256 or 512)")
 	flag.Parse()
 
-	m := sim.MustNewMachine(sim.Options{Seed: 4242})
-	prof, err := core.CharacterizeTiming(m, 0, 1, 48, 9)
+	m := spybox.MustNewMachine(spybox.MachineOptions{Seed: 4242})
+	prof, err := spybox.CharacterizeTiming(m, 0, 1, 48, 9)
 	if err != nil {
 		log.Fatal(err)
 	}
-	spy, err := core.NewAttacker(m, 1, 0, 256, prof.Thresholds, 55)
+	spy, err := spybox.NewAttacker(m, 1, 0, 256, prof.Thresholds, 55)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,19 +32,19 @@ func main() {
 		log.Fatal(err)
 	}
 	all := spy.AllEvictionSets(sg, spy.Ways())
-	monitored := make([]core.EvictionSet, 0, 256)
+	monitored := make([]spybox.EvictionSet, 0, 256)
 	for i := 0; i < 256; i++ {
 		monitored = append(monitored, all[i*len(all)/256])
 	}
 
-	observe := func(h int, seed uint64) (float64, *memgram.Gram) {
-		cfg := victim.MLPVictimConfig{Hidden: h, Epochs: 1, Samples: 64, BatchSize: 16, EpochGapOps: 0}
-		v, err := victim.NewMLPVictim(m, 0, seed, cfg)
+	observe := func(h int, seed uint64) (float64, *spybox.Memorygram) {
+		cfg := spybox.MLPVictimConfig{Hidden: h, Epochs: 1, Samples: 64, BatchSize: 16, EpochGapOps: 0}
+		v, err := spybox.NewMLPVictim(m, 0, seed, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		victimDone := false
-		res, err := spy.MonitorConcurrent(monitored, core.MonitorOptions{
+		res, err := spy.MonitorConcurrent(monitored, spybox.MonitorOptions{
 			Epochs:    240,
 			StopEarly: func() bool { return victimDone },
 		}, func() error { return v.Launch(&victimDone) })
@@ -56,7 +54,7 @@ func main() {
 		for _, al := range v.Proc.Space().Allocs() {
 			v.Proc.Free(al.Base)
 		}
-		g, _ := memgram.New(res.Miss, fmt.Sprintf("mlp-h%d", h))
+		g, _ := spybox.NewMemorygram(res.Miss, fmt.Sprintf("mlp-h%d", h))
 		return res.AvgMissesPerSet(), g
 	}
 

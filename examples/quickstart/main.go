@@ -1,28 +1,51 @@
-// Quickstart: stand up the simulated DGX-1, reverse engineer the L2
-// timing and geometry from user level, and print what the attacker
-// learned. This walks the same path as Sec. III of the paper.
+// Quickstart for the public spybox library API: run a registered
+// experiment through a Session and read its structured result, then
+// drop to machine level — stand up the simulated DGX-1, reverse
+// engineer the L2 timing and geometry from user level, and print what
+// the attacker learned (the same path as Sec. III of the paper).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"spybox/internal/core"
-	"spybox/internal/sim"
+	"spybox/pkg/spybox"
 )
 
 func main() {
-	// A DGX-1 box: eight P100s, NVLink hybrid cube-mesh. Pass another
-	// arch.Profile (V100DGX2, A100Class) to simulate a different box.
-	m := sim.MustNewMachine(sim.Options{Seed: 42})
+	// Part 1: the experiment layer. Open a session and reproduce the
+	// paper's Fig. 4 timing characterization; the result is structured
+	// (typed records and keyed metrics), not log text.
+	sess, err := spybox.Open(spybox.Config{Seed: 42, Scale: spybox.Small})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := sess.Run(context.Background(), "fig4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig4 := results[0]
+	fmt.Printf("ran %s — %s\n", fig4.ID, fig4.Title)
+	for _, m := range fig4.MetricList() {
+		fmt.Printf("  metric %-32s %10.1f %s\n", m.Key, m.Value, m.Unit)
+	}
+
+	// Part 2: machine-level scripting on the same session profile. A
+	// DGX-1 box: eight P100s, NVLink hybrid cube-mesh. Open with
+	// Config{Arch: "v100-dgx2"} (or "a100-class") for a different box.
+	m, err := sess.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
 	mp := m.Profile()
-	fmt.Printf("machine: %d GPUs, L2 %d sets x %d ways x %d B lines\n",
+	fmt.Printf("\nmachine: %d GPUs, L2 %d sets x %d ways x %d B lines\n",
 		m.NumGPUs(), mp.L2Sets, mp.L2Ways, mp.L2LineSize)
 
 	// Step 1: timing characterization (Fig. 4). One process on GPU0
 	// times local accesses; another on GPU1 times remote accesses to
 	// GPU0 memory over NVLink.
-	prof, err := core.CharacterizeTiming(m, 0, 1, 48, 7)
+	prof, err := spybox.CharacterizeTiming(m, 0, 1, 48, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +54,7 @@ func main() {
 
 	// Step 2: eviction-set discovery on the attacker's own buffer,
 	// allocated on the target GPU (Sec. III-B, Algorithm 1).
-	att, err := core.NewAttacker(m, 1, 0, 256, prof.Thresholds, 99)
+	att, err := spybox.NewAttacker(m, 1, 0, 256, prof.Thresholds, 99)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +70,7 @@ func main() {
 	fmt.Printf("eviction sets covering %d unique cache sets\n", len(sets))
 
 	// Step 3: geometry inference (Table I).
-	fresh, err := core.NewAttacker(m, 1, 0, 16, prof.Thresholds, 100)
+	fresh, err := spybox.NewAttacker(m, 1, 0, 16, prof.Thresholds, 100)
 	if err != nil {
 		log.Fatal(err)
 	}

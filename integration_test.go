@@ -103,7 +103,7 @@ func TestEndToEndAllExperimentsSmoke(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(r.Lines) == 0 {
+			if len(r.Records) == 0 {
 				t.Error("empty report")
 			}
 		})

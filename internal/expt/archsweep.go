@@ -157,37 +157,44 @@ func ArchSweep(p Params) (*Result, error) {
 	ported := 0
 	for _, o := range outs {
 		name := o.prof.Name
-		r.addf("--- %s", o.prof)
-		r.addf("timing clusters: [%.0f %.0f %.0f %.0f] cy, boundaries local %.0f / remote %.0f",
-			o.centers[0], o.centers[1], o.centers[2], o.centers[3], o.localB, o.remoteB)
-		r.addf("geometry RE:     measured %d sets x %d ways x %d B (%s), truth %d x %d x %d — %s",
-			o.geo.Sets, o.geo.Ways, o.geo.LineSize, o.geo.Policy,
-			o.prof.L2Sets, o.prof.L2Ways, o.prof.L2LineSize, verdict(o.geoOK))
-		r.addf("eviction sets:   trojan covers %d, spy covers %d; cross-process alignment %s",
-			o.trojanSets, o.spySets, verdict(o.alignedIdx >= 0))
+		r.Rowf("--- %s", f("box", o.prof.String()))
+		r.Rowf("timing clusters: [%.0f %.0f %.0f %.0f] cy, boundaries local %.0f / remote %.0f",
+			fu("cluster_local_hit", "cycles", o.centers[0]), fu("cluster_local_miss", "cycles", o.centers[1]),
+			fu("cluster_remote_hit", "cycles", o.centers[2]), fu("cluster_remote_miss", "cycles", o.centers[3]),
+			fu("local_boundary", "cycles", o.localB), fu("remote_boundary", "cycles", o.remoteB))
+		r.Rowf("geometry RE:     measured %d sets x %d ways x %d B (%s), truth %d x %d x %d — %s",
+			f("measured_sets", o.geo.Sets), f("measured_ways", o.geo.Ways),
+			fu("measured_line_size", "bytes", o.geo.LineSize), f("policy", o.geo.Policy),
+			f("true_sets", o.prof.L2Sets), f("true_ways", o.prof.L2Ways),
+			fu("true_line_size", "bytes", o.prof.L2LineSize), f("geo_verdict", verdict(o.geoOK)))
+		r.Rowf("eviction sets:   trojan covers %d, spy covers %d; cross-process alignment %s",
+			f("trojan_sets", o.trojanSets), f("spy_sets", o.spySets),
+			f("align_verdict", verdict(o.alignedIdx >= 0)))
 		if o.alignedIdx >= 0 {
-			r.addf("covert channel:  %.4f MB/s at %.2f%% error over %d sets", o.bw, o.errPct, archsweepSets)
+			r.Rowf("covert channel:  %.4f MB/s at %.2f%% error over %d sets",
+				fu("bandwidth", "MB/s", o.bw), fu("error", "%", o.errPct), f("sets", archsweepSets))
 		} else {
-			r.addf("covert channel:  not established")
+			r.Notef("covert channel:  not established")
 		}
-		r.addf("")
+		r.Blank()
 		if o.geoOK && o.alignedIdx >= 0 {
 			ported++
 		}
 		suffix := "_" + name
-		r.Metrics["geo_ok"+suffix] = boolAsMetric(o.geoOK)
-		r.Metrics["aligned"+suffix] = boolAsMetric(o.alignedIdx >= 0)
-		r.Metrics["measured_ways"+suffix] = float64(o.geo.Ways)
-		r.Metrics["measured_sets"+suffix] = float64(o.geo.Sets)
-		r.Metrics["bw_MBps"+suffix] = o.bw
-		r.Metrics["err_pct"+suffix] = o.errPct
+		r.SetMetric("geo_ok"+suffix, "", boolAsMetric(o.geoOK))
+		r.SetMetric("aligned"+suffix, "", boolAsMetric(o.alignedIdx >= 0))
+		r.SetMetric("measured_ways"+suffix, "", float64(o.geo.Ways))
+		r.SetMetric("measured_sets"+suffix, "", float64(o.geo.Sets))
+		r.SetMetric("bw_MBps"+suffix, "MB/s", o.bw)
+		r.SetMetric("err_pct"+suffix, "%", o.errPct)
 	}
-	r.addf("the attack chain ports end to end on %d/%d profiles: the channels are a property", ported, len(profs))
-	r.addf("of NUMA home-L2 caching over NVLink, not of any one machine's constants. Wider")
-	r.addf("associativity raises discovery cost (eviction sets need `ways` lines) and all-to-all")
-	r.addf("fabrics remove the unconnected-pair refusals, but neither closes the channel.")
-	r.Metrics["profiles"] = float64(len(profs))
-	r.Metrics["ported"] = float64(ported)
+	r.Rowf("the attack chain ports end to end on %d/%d profiles: the channels are a property",
+		f("ported", ported), f("profiles", len(profs)))
+	r.Notef("of NUMA home-L2 caching over NVLink, not of any one machine's constants. Wider")
+	r.Notef("associativity raises discovery cost (eviction sets need `ways` lines) and all-to-all")
+	r.Notef("fabrics remove the unconnected-pair refusals, but neither closes the channel.")
+	r.SetMetric("profiles", "", float64(len(profs)))
+	r.SetMetric("ported", "", float64(ported))
 	return r, nil
 }
 

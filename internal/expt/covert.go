@@ -87,7 +87,7 @@ func Fig9(p Params) (*Result, error) {
 	r := newResult("fig9", "Bandwidth and error rate in covert channel")
 	bwSeries := plot.Series{Name: "bandwidth MB/s"}
 	errSeries := plot.Series{Name: "error %"}
-	r.addf("%-6s %-14s %-10s", "sets", "bandwidth MB/s", "error %")
+	r.Notef("%-6s %-14s %-10s", "sets", "bandwidth MB/s", "error %")
 	for ci, n := range counts {
 		var bw, errRate float64
 		for run := 0; run < runs; run++ {
@@ -97,20 +97,21 @@ func Fig9(p Params) (*Result, error) {
 		}
 		bw /= float64(runs)
 		errRate = errRate / float64(runs) * 100
-		r.addf("%-6d %-14.4f %-10.2f", n, bw, errRate)
+		r.Rowf("%-6d %-14.4f %-10.2f",
+			f("sets", n), fu("bandwidth", "MB/s", bw), fu("error", "%", errRate))
 		bwSeries.X = append(bwSeries.X, float64(n))
 		bwSeries.Y = append(bwSeries.Y, bw)
 		errSeries.X = append(errSeries.X, float64(n))
 		errSeries.Y = append(errSeries.Y, errRate)
 	}
 	r.Series = []plot.Series{bwSeries, errSeries}
-	r.addf("")
-	r.addf("paper: bandwidth rises with sets, error rises too; best 3.95 MB/s at 4 sets, 1.3%% error.")
-	r.addf("simulated probes are not warp-pipelined to silicon speed, so absolute MB/s is lower;")
-	r.addf("the shape (both curves rising, error exploding past ~4-8 sets) is the reproduced claim.")
-	r.Metrics["best_bandwidth_MBps"] = maxSlice(bwSeries.Y)
-	r.Metrics["error_at_max_sets_pct"] = errSeries.Y[len(errSeries.Y)-1]
-	r.Metrics["error_at_1_set_pct"] = errSeries.Y[0]
+	r.Blank()
+	r.Notef("paper: bandwidth rises with sets, error rises too; best 3.95 MB/s at 4 sets, 1.3%% error.")
+	r.Notef("simulated probes are not warp-pipelined to silicon speed, so absolute MB/s is lower;")
+	r.Notef("the shape (both curves rising, error exploding past ~4-8 sets) is the reproduced claim.")
+	r.SetMetric("best_bandwidth_MBps", "MB/s", maxSlice(bwSeries.Y))
+	r.SetMetric("error_at_max_sets_pct", "%", errSeries.Y[len(errSeries.Y)-1])
+	r.SetMetric("error_at_1_set_pct", "%", errSeries.Y[0])
 	return r, nil
 }
 
@@ -147,9 +148,10 @@ func Fig10(p Params) (*Result, error) {
 	}
 	r := newResult("fig10", "Cross GPU covert message received by spy")
 	decoded := core.BitsToBytes(tx.ReceivedBits)
-	r.addf("sent:     %q", string(msg))
-	r.addf("received: %q", string(decoded))
-	r.addf("bit errors: %d/%d (%.2f%%)", tx.BitErrors, len(tx.SentBits), 100*tx.ErrorRate())
+	r.Rowf("sent:     %q", f("sent", string(msg)))
+	r.Rowf("received: %q", f("received", string(decoded)))
+	r.Rowf("bit errors: %d/%d (%.2f%%)",
+		f("bit_errors", tx.BitErrors), f("bits_sent", len(tx.SentBits)), fu("error", "%", 100*tx.ErrorRate()))
 
 	// Waveform: average latency per probe over time; split into two
 	// level clusters for the report.
@@ -173,12 +175,13 @@ func Fig10(p Params) (*Result, error) {
 	if limit > 400 {
 		series.X, series.Y = series.X[:400], series.Y[:400]
 	}
-	r.Lines = append(r.Lines, plot.Line([]plot.Series{series}, 72, 12, "spy clock (cycles)", "probe cycles"))
+	r.Chart(plot.Line([]plot.Series{series}, 72, 12, "spy clock (cycles)", "probe cycles"))
 	z, o := mean(zeroLats), mean(oneLats)
-	r.addf("'0' level: %.0f cycles (paper: ~630); '1' level: %.0f cycles (paper: ~950)", z, o)
-	r.Metrics["zero_level_cycles"] = z
-	r.Metrics["one_level_cycles"] = o
-	r.Metrics["bit_error_rate"] = tx.ErrorRate()
+	r.Rowf("'0' level: %.0f cycles (paper: ~630); '1' level: %.0f cycles (paper: ~950)",
+		fu("zero_level", "cycles", z), fu("one_level", "cycles", o))
+	r.SetMetric("zero_level_cycles", "cycles", z)
+	r.SetMetric("one_level_cycles", "cycles", o)
+	r.SetMetric("bit_error_rate", "", tx.ErrorRate())
 	return r, nil
 }
 

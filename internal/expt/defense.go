@@ -96,18 +96,21 @@ func SecVI(p Params) (*Result, error) {
 	r := newResult("sec6", "Noise mitigation via occupancy blocking")
 	quiet, noisy, blocked := outs[0].errRate, outs[1].errRate, outs[2].errRate
 	placedNoisy, placedBlocked := outs[1].placed, outs[2].placed
-	r.addf("%-34s %-12s %s", "condition", "error rate", "noise blocks resident")
-	r.addf("%-34s %-12.2f%% %d", "quiet machine", 100*quiet, 0)
-	r.addf("%-34s %-12.2f%% %d", "concurrent noise app", 100*noisy, placedNoisy)
-	r.addf("%-34s %-12.2f%% %d", "noise + occupancy blocking", 100*blocked, placedBlocked)
-	r.addf("")
-	r.addf("blocking pins all leftover shared memory, so the noise app cannot co-reside")
-	r.addf("and the channel recovers its quiet-machine quality (Sec. VI).")
-	r.Metrics["error_quiet_pct"] = 100 * quiet
-	r.Metrics["error_noisy_pct"] = 100 * noisy
-	r.Metrics["error_blocked_pct"] = 100 * blocked
-	r.Metrics["noise_blocks_without_blocking"] = float64(placedNoisy)
-	r.Metrics["noise_blocks_with_blocking"] = float64(placedBlocked)
+	r.Notef("%-34s %-12s %s", "condition", "error rate", "noise blocks resident")
+	r.Rowf("%-34s %-12.2f%% %d",
+		f("condition", "quiet machine"), fu("error", "%", 100*quiet), f("noise_blocks", 0))
+	r.Rowf("%-34s %-12.2f%% %d",
+		f("condition", "concurrent noise app"), fu("error", "%", 100*noisy), f("noise_blocks", placedNoisy))
+	r.Rowf("%-34s %-12.2f%% %d",
+		f("condition", "noise + occupancy blocking"), fu("error", "%", 100*blocked), f("noise_blocks", placedBlocked))
+	r.Blank()
+	r.Notef("blocking pins all leftover shared memory, so the noise app cannot co-reside")
+	r.Notef("and the channel recovers its quiet-machine quality (Sec. VI).")
+	r.SetMetric("error_quiet_pct", "%", 100*quiet)
+	r.SetMetric("error_noisy_pct", "%", 100*noisy)
+	r.SetMetric("error_blocked_pct", "%", 100*blocked)
+	r.SetMetric("noise_blocks_without_blocking", "blocks", float64(placedNoisy))
+	r.SetMetric("noise_blocks_with_blocking", "blocks", float64(placedBlocked))
 	return r, nil
 }
 
@@ -135,17 +138,20 @@ func SecVII(p Params) (*Result, error) {
 	const thresholdPerMCycle = 2000.0
 
 	r := newResult("sec7", "NVLink traffic detection")
-	r.addf("%-30s %-10s %-16s %-16s %s", "window", "subwins", "median rate/Mcy", "peak rate/Mcy", "detected")
+	r.Notef("%-30s %-10s %-16s %-16s %s", "window", "subwins", "median rate/Mcy", "peak rate/Mcy", "detected")
 
 	report := func(name string, s *mitigate.Sampler) {
 		med, peak := s.MedianMaxLinkRate(), s.PeakMaxLinkRate()
 		hit := med > thresholdPerMCycle
-		r.addf("%-30s %-10d %-16.1f %-16.1f %v", name, len(s.Windows()), med, peak, hit)
-		r.Metrics["median_rate_"+name] = med
+		r.Rowf("%-30s %-10d %-16.1f %-16.1f %v",
+			f("window", name), f("subwindows", len(s.Windows())),
+			fu("median_rate", "txns/Mcycle", med), fu("peak_rate", "txns/Mcycle", peak),
+			f("detected", hit))
+		r.SetMetric("median_rate_"+name, "txns/Mcycle", med)
 		if hit {
-			r.Metrics["detected_"+name] = 1
+			r.SetMetric("detected_"+name, "", 1)
 		} else {
-			r.Metrics["detected_"+name] = 0
+			r.SetMetric("detected_"+name, "", 0)
 		}
 	}
 
@@ -205,30 +211,34 @@ func SecVII(p Params) (*Result, error) {
 	}
 	report("covert channel active", covSampler)
 
-	r.addf("")
-	r.addf("covert error rate during detection window: %.2f%%", 100*tx.ErrorRate())
-	r.addf("threshold: median busiest-link rate > %.0f txns/Mcycle.", thresholdPerMCycle)
-	r.addf("the covert channel's line-granular probing keeps every subwindow hot; benign")
-	r.addf("peer traffic is a one-shot burst, so its median subwindow is quiet (Sec. VII).")
+	r.Blank()
+	r.Rowf("covert error rate during detection window: %.2f%%",
+		fu("covert_error", "%", 100*tx.ErrorRate()))
+	r.Rowf("threshold: median busiest-link rate > %.0f txns/Mcycle.",
+		fu("threshold", "txns/Mcycle", thresholdPerMCycle))
+	r.Notef("the covert channel's line-granular probing keeps every subwindow hot; benign")
+	r.Notef("peer traffic is a one-shot burst, so its median subwindow is quiet (Sec. VII).")
 
 	// On switch-based boxes the two-stage fabric pins each GPU pair to
 	// one plane, so the detector can go beyond "a stream exists" and
 	// name the plane it rides.
 	if planeRates := covSampler.PlaneMedianRates(); len(planeRates) > 0 {
-		r.addf("")
-		r.addf("per-plane median subwindow rates during the covert window:")
+		r.Blank()
+		r.Notef("per-plane median subwindow rates during the covert window:")
 		for i, rate := range planeRates {
-			r.addf("  switch plane %d: %8.1f txns/Mcy", i, rate)
-			r.Metrics[fmt.Sprintf("plane_rate_%d", i)] = rate
+			r.Rowf("  switch plane %d: %8.1f txns/Mcy",
+				f("plane", i), fu("rate", "txns/Mcycle", rate))
+			r.SetMetric(fmt.Sprintf("plane_rate_%d", i), "txns/Mcycle", rate)
 		}
 		truth := pair.m.Topology().PlaneFor(spyGPU, trojanGPU)
 		if plane, rate := covSampler.LocalizePlane(thresholdPerMCycle); plane >= 0 {
-			r.addf("covert stream localized to switch plane %d (%.1f txns/Mcy; pair %v-%v is pinned to plane %d)",
-				plane, rate, spyGPU, trojanGPU, truth)
-			r.Metrics["localized_plane"] = float64(plane)
+			r.Rowf("covert stream localized to switch plane %d (%.1f txns/Mcy; pair %v-%v is pinned to plane %d)",
+				f("localized_plane", plane), fu("rate", "txns/Mcycle", rate),
+				f("spy_gpu", spyGPU), f("trojan_gpu", trojanGPU), f("true_plane", truth))
+			r.SetMetric("localized_plane", "", float64(plane))
 		} else {
-			r.addf("covert stream not localized to a single plane (pair %v-%v is pinned to plane %d)",
-				spyGPU, trojanGPU, truth)
+			r.Rowf("covert stream not localized to a single plane (pair %v-%v is pinned to plane %d)",
+				f("spy_gpu", spyGPU), f("trojan_gpu", trojanGPU), f("true_plane", truth))
 		}
 	}
 	return r, nil

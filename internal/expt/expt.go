@@ -1,24 +1,28 @@
 // Package expt regenerates every table and figure of the paper's
-// evaluation. Each experiment is a function from Params to a Result
-// holding the printable rows/series the paper reports; cmd/spybox,
-// the benchmark harness, and EXPERIMENTS.md all consume these.
+// evaluation. Each experiment is a function from Params to a Result —
+// the structured report model in pkg/spybox/report, holding typed
+// record rows, keyed metrics with units, chart series, and binary
+// artifacts; cmd/spybox, the public pkg/spybox API, the benchmark
+// harness, and EXPERIMENTS.md all consume these.
 //
 // Repetition-heavy experiments are decomposed into independent trials
 // executed by the runner (runner.go); the per-experiment index, trial
-// granularity, scales, and headline metrics live in EXPERIMENTS.md.
+// granularity, scales, and headline metrics live in EXPERIMENTS.md
+// and in the registry's Trials/Headline metadata.
 package expt
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
-	"sort"
+	"strings"
 	"sync"
 
 	"spybox/internal/arch"
 	"spybox/internal/core"
-	"spybox/internal/plot"
 	"spybox/internal/sim"
+	"spybox/pkg/spybox/report"
 )
 
 // Scale selects experiment sizing.
@@ -33,17 +37,66 @@ const (
 	Paper
 )
 
-// ParseScale maps a flag string to a Scale.
-func ParseScale(s string) (Scale, error) {
+// Scales lists every scale, in increasing cost order.
+func Scales() []Scale { return []Scale{Small, Default, Paper} }
+
+// String returns the flag spelling of the scale, the inverse of
+// ParseScale.
+func (s Scale) String() string {
 	switch s {
-	case "small":
-		return Small, nil
-	case "default", "":
-		return Default, nil
-	case "paper":
-		return Paper, nil
+	case Small:
+		return "small"
+	case Default:
+		return "default"
+	case Paper:
+		return "paper"
 	}
-	return 0, fmt.Errorf("expt: unknown scale %q (small|default|paper)", s)
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// ScaleNames returns the flag spellings of every scale (for CLI help
+// and error messages).
+func ScaleNames() []string {
+	scales := Scales()
+	out := make([]string, len(scales))
+	for i, s := range scales {
+		out[i] = s.String()
+	}
+	return out
+}
+
+// ParseScale maps a flag string to a Scale. The empty string means
+// Default.
+func ParseScale(s string) (Scale, error) {
+	if s == "" {
+		return Default, nil
+	}
+	for _, sc := range Scales() {
+		if s == sc.String() {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("expt: unknown scale %q (%s)", s, strings.Join(ScaleNames(), "|"))
+}
+
+// TrialHooks observe the runner's per-trial lifecycle. Both callbacks
+// may be invoked concurrently from worker goroutines; a nil hook set
+// (or a nil callback) is silently skipped.
+type TrialHooks struct {
+	Start func(index, total int)
+	Done  func(index, total int, err error)
+}
+
+func (h *TrialHooks) start(index, total int) {
+	if h != nil && h.Start != nil {
+		h.Start(index, total)
+	}
+}
+
+func (h *TrialHooks) done(index, total int, err error) {
+	if h != nil && h.Done != nil {
+		h.Done(index, total, err)
+	}
 }
 
 // Params parameterize one experiment run.
@@ -59,6 +112,21 @@ type Params struct {
 	// (arch.ProfileNames). Empty means the paper's p100-dgx1, which
 	// reproduces pre-profile reports byte-for-byte.
 	Arch string
+	// Ctx, when non-nil, cancels a run cleanly between trials (the
+	// runner checks it before claiming each trial). A cancelled run
+	// returns an error wrapping Ctx's error.
+	Ctx context.Context
+	// Hooks, when non-nil, observe per-trial start/finish — the
+	// progress stream pkg/spybox exposes for long runs.
+	Hooks *TrialHooks
+}
+
+// ctx resolves the run's context; nil means never cancelled.
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
 }
 
 // ArchProfile resolves the run's architecture profile.
@@ -88,68 +156,41 @@ func machineFor(p Params, opts sim.Options) *sim.Machine {
 	return sim.MustNewMachine(opts)
 }
 
-// Result is one experiment's reproduction output.
-type Result struct {
-	ID    string
-	Title string
-	// Lines are the human-readable report, printed in order.
-	Lines []string
-	// Series are optional chart data (also exported as CSV).
-	Series []plot.Series
-	// Metrics are the headline numbers, keyed for EXPERIMENTS.md.
-	Metrics map[string]float64
-	// Artifacts are binary outputs (PGM memorygram images), written
-	// next to the CSVs when the CLI is given -out.
-	Artifacts map[string][]byte
-}
+// Result is the structured experiment report (see pkg/spybox/report):
+// ordered records with keyed fields, metrics with units, series, and
+// artifacts, rendered as byte-identical text or schema-versioned JSON.
+type Result = report.Result
 
-func newResult(id, title string) *Result {
-	return &Result{ID: id, Title: title, Metrics: map[string]float64{}, Artifacts: map[string][]byte{}}
-}
+// newResult starts an empty report.
+func newResult(id, title string) *Result { return report.New(id, title) }
+
+// f and fu build record fields (fu carries a unit); see report.F/FU.
+func f(key string, v any) report.Field        { return report.F(key, v) }
+func fu(key, unit string, v any) report.Field { return report.FU(key, unit, v) }
 
 // attachPGM renders a memorygram into the result's artifacts. A
 // failed render must not pass silently (the run would report success
 // while dropping the artifact), so the error is recorded in the
-// report lines where the CLI prints it.
-func (r *Result) attachPGM(name string, g interface{ WritePGM(io.Writer) error }) {
+// report records where the CLI prints it.
+func attachPGM(r *Result, name string, g interface{ WritePGM(io.Writer) error }) {
 	var buf bytes.Buffer
 	if err := g.WritePGM(&buf); err != nil {
-		r.addf("ARTIFACT ERROR: rendering %s.pgm failed: %v", name, err)
+		r.Errorf("ARTIFACT ERROR: rendering %s.pgm failed: %v", name, err)
 		return
 	}
 	r.Artifacts[name+".pgm"] = buf.Bytes()
 }
 
-// addf appends a formatted report line.
-func (r *Result) addf(format string, args ...any) {
-	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
-}
-
-// Print writes the full report.
-func (r *Result) Print(w io.Writer) {
-	fmt.Fprintf(w, "=== %s — %s ===\n", r.ID, r.Title)
-	for _, l := range r.Lines {
-		fmt.Fprintln(w, l)
-	}
-	if len(r.Metrics) > 0 {
-		keys := make([]string, 0, len(r.Metrics))
-		for k := range r.Metrics {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		fmt.Fprintln(w, "metrics:")
-		for _, k := range keys {
-			fmt.Fprintf(w, "  %-32s %g\n", k, r.Metrics[k])
-		}
-	}
-	fmt.Fprintln(w)
-}
-
-// Experiment couples an ID with its runner.
+// Experiment couples an ID with its runner and the machine-readable
+// metadata tooling discovers via `spybox list -json`: the trial
+// decomposition and the headline metric keys (patterns like
+// `total_misses_<app>` expand per the placeholder).
 type Experiment struct {
-	ID    string
-	Title string
-	Run   func(Params) (*Result, error)
+	ID       string
+	Title    string
+	Trials   string
+	Headline []string
+	Run      func(Params) (*Result, error)
 }
 
 // Registry lists all experiments in paper order. Trial-decomposed
@@ -158,25 +199,82 @@ type Experiment struct {
 // so everything the CLI runs goes through the runner.
 func Registry() []Experiment {
 	return []Experiment{
-		{"fig4", "Local and remote GPU access time (timing characterization)", OneTrial(Fig4)},
-		{"fig5", "Validating the eviction set determination", OneTrial(Fig5)},
-		{"table1", "L2 cache architecture (reverse engineered)", OneTrial(TableI)},
-		{"fig7", "Eviction set alignment across processes", OneTrial(Fig7)},
-		{"fig9", "Covert channel bandwidth and error rate vs. cache sets", Fig9},
-		{"fig10", "Covert message waveform received by spy", OneTrial(Fig10)},
-		{"fig11", "Memorygrams of six victim applications", Fig11},
-		{"fig12", "Application fingerprinting confusion matrix", Fig12},
-		{"fig13", "MLP cache misses per set histogram", Fig13},
-		{"table2", "Average misses over all cache sets vs. hidden neurons", TableII},
-		{"fig14", "Memorygram of MLP with 128 vs 512 neurons", OneTrial(Fig14)},
-		{"fig15", "Two-epoch MLP memorygram and epoch counting", OneTrial(Fig15)},
-		{"sec6", "Noise mitigation via occupancy blocking", SecVI},
-		{"sec7", "NVLink traffic detection of cross-GPU attacks", OneTrial(SecVII)},
-		{"mig", "MIG-style partitioning defense (extension)", MIG},
-		{"pairs", "Cross-GPU timing across every NVLink pair (extension)", Pairs},
-		{"multigpu", "Covert channel over additional spy GPUs (extension)", MultiGPU},
-		{"archsweep", "Attack portability across GPU box generations (extension)", ArchSweep},
-		{"fabricsweep", "Covert channel under switch-port contention (extension)", FabricSweep},
+		{ID: "fig4", Title: "Local and remote GPU access time (timing characterization)",
+			Trials:   "single-shot",
+			Headline: []string{"local_boundary", "remote_boundary"},
+			Run:      OneTrial(Fig4)},
+		{ID: "fig5", Title: "Validating the eviction set determination",
+			Trials:   "single-shot",
+			Headline: []string{"eviction_step_local", "eviction_step_remote"},
+			Run:      OneTrial(Fig5)},
+		{ID: "table1", Title: "L2 cache architecture (reverse engineered)",
+			Trials:   "single-shot",
+			Headline: []string{"sets", "ways", "line_size", "cache_bytes", "policy_lru"},
+			Run:      OneTrial(TableI)},
+		{ID: "fig7", Title: "Eviction set alignment across processes",
+			Trials:   "single-shot",
+			Headline: []string{"aligned_fraction", "matched_avg_cycles", "unmatched_avg_cycles"},
+			Run:      OneTrial(Fig7)},
+		{ID: "fig9", Title: "Covert channel bandwidth and error rate vs. cache sets",
+			Trials:   "one per (set count, repetition)",
+			Headline: []string{"best_bandwidth_MBps", "error_at_1_set_pct", "error_at_max_sets_pct"},
+			Run:      Fig9},
+		{ID: "fig10", Title: "Covert message waveform received by spy",
+			Trials:   "single-shot",
+			Headline: []string{"zero_level_cycles", "one_level_cycles", "bit_error_rate"},
+			Run:      OneTrial(Fig10)},
+		{ID: "fig11", Title: "Memorygrams of six victim applications",
+			Trials:   "one per victim application",
+			Headline: []string{"total_misses_<app>"},
+			Run:      Fig11},
+		{ID: "fig12", Title: "Application fingerprinting confusion matrix",
+			Trials:   "one victim class per trial",
+			Headline: []string{"test_accuracy", "knn_accuracy", "softmax_accuracy", "recall_<app>"},
+			Run:      Fig12},
+		{ID: "fig13", Title: "MLP cache misses per set histogram",
+			Trials:   "one per hidden size",
+			Headline: []string{"total_misses_h<H>"},
+			Run:      Fig13},
+		{ID: "table2", Title: "Average misses over all cache sets vs. hidden neurons",
+			Trials:   "4 reference + 4 extraction measurements",
+			Headline: []string{"avg_misses_h<H>", "monotone_in_hidden", "extraction_correct"},
+			Run:      TableII},
+		{ID: "fig14", Title: "Memorygram of MLP with 128 vs 512 neurons",
+			Trials:   "single-shot",
+			Headline: []string{"total_misses_h128", "total_misses_h512"},
+			Run:      OneTrial(Fig14)},
+		{ID: "fig15", Title: "Two-epoch MLP memorygram and epoch counting",
+			Trials:   "single-shot",
+			Headline: []string{"epochs_detected", "epochs_true"},
+			Run:      OneTrial(Fig15)},
+		{ID: "sec6", Title: "Noise mitigation via occupancy blocking",
+			Trials:   "one per condition (quiet / noisy / blocked)",
+			Headline: []string{"error_quiet_pct", "error_noisy_pct", "error_blocked_pct", "noise_blocks_without_blocking", "noise_blocks_with_blocking"},
+			Run:      SecVI},
+		{ID: "sec7", Title: "NVLink traffic detection of cross-GPU attacks",
+			Trials:   "single-shot",
+			Headline: []string{"detected_<window>", "median_rate_<window>", "plane_rate_<i>", "localized_plane"},
+			Run:      OneTrial(SecVII)},
+		{ID: "mig", Title: "MIG-style partitioning defense (extension)",
+			Trials:   "one per machine (stock / partitioned)",
+			Headline: []string{"baseline_aligned", "mig_aligned"},
+			Run:      MIG},
+		{ID: "pairs", Title: "Cross-GPU timing across every NVLink pair (extension)",
+			Trials:   "one per ordered GPU pair",
+			Headline: []string{"connected_pairs", "refused_pairs", "hit_spread_cycles", "miss_spread_cycles"},
+			Run:      Pairs},
+		{ID: "multigpu", Title: "Covert channel over additional spy GPUs (extension)",
+			Trials:   "one per spy configuration",
+			Headline: []string{"bw_<config>", "err_<config>"},
+			Run:      MultiGPU},
+		{ID: "archsweep", Title: "Attack portability across GPU box generations (extension)",
+			Trials:   "one per architecture profile",
+			Headline: []string{"ported", "geo_ok_<profile>", "aligned_<profile>", "bw_MBps_<profile>", "err_pct_<profile>"},
+			Run:      ArchSweep},
+		{ID: "fabricsweep", Title: "Covert channel under switch-port contention (extension)",
+			Trials:   "one per competitor count (0-3)",
+			Headline: []string{"bw_MBps_<k>streams", "err_pct_<k>streams", "queue_cycles_<k>streams", "err_rise_pct", "queue_growth"},
+			Run:      FabricSweep},
 	}
 }
 

@@ -140,7 +140,7 @@ func TestFig10(t *testing.T) {
 	if r.Metrics["bit_error_rate"] > 0.05 {
 		t.Errorf("bit error rate %v too high", r.Metrics["bit_error_rate"])
 	}
-	joined := strings.Join(r.Lines, "\n")
+	joined := strings.Join(r.Lines(), "\n")
 	if !strings.Contains(joined, "Hello! How are you?") {
 		t.Error("message not in report")
 	}
@@ -336,7 +336,7 @@ func TestFabricSweep(t *testing.T) {
 				cur, k, next, k+1)
 		}
 	}
-	for _, l := range r.Lines {
+	for _, l := range r.Lines() {
 		if strings.Contains(l, "ACCOUNTING ERROR") {
 			t.Fatalf("plane/link accounting diverged: %s", l)
 		}
@@ -435,15 +435,15 @@ func (okGram) WritePGM(w io.Writer) error {
 
 func TestAttachPGMRecordsRenderErrors(t *testing.T) {
 	r := newResult("x", "t")
-	r.attachPGM("good", okGram{})
-	r.attachPGM("bad", failingGram{})
+	attachPGM(r, "good", okGram{})
+	attachPGM(r, "bad", failingGram{})
 	if _, ok := r.Artifacts["good.pgm"]; !ok {
 		t.Error("successful render not attached")
 	}
 	if _, ok := r.Artifacts["bad.pgm"]; ok {
 		t.Error("failed render attached an artifact")
 	}
-	joined := strings.Join(r.Lines, "\n")
+	joined := strings.Join(r.Lines(), "\n")
 	if !strings.Contains(joined, "ARTIFACT ERROR") || !strings.Contains(joined, "disk is lava") {
 		t.Errorf("render failure not recorded in report lines: %q", joined)
 	}

@@ -79,20 +79,16 @@ func MIG(p Params) (*Result, error) {
 		return nil, err
 	}
 	baseline, mig := outs[0].aligned, outs[1].aligned
-	r.addf("stock DGX-1:        alignment found a colliding set pair: %v (%s)", baseline, outs[0].detail)
-	r.addf("2 MIG partitions:   alignment found a colliding set pair: %v (%s)", mig, outs[1].detail)
-	r.addf("")
-	r.addf("with per-tenant L2/memory partitions the spy's eviction sets and the trojan's")
-	r.addf("never share a physical set, so the Prime+Probe channel cannot be established —")
-	r.addf("the isolation property the paper credits MIG with (unavailable on Pascal).")
-	boolMetric := func(b bool) float64 {
-		if b {
-			return 1
-		}
-		return 0
-	}
-	r.Metrics["baseline_aligned"] = boolMetric(baseline)
-	r.Metrics["mig_aligned"] = boolMetric(mig)
+	r.Rowf("stock DGX-1:        alignment found a colliding set pair: %v (%s)",
+		f("aligned", baseline), f("detail", outs[0].detail))
+	r.Rowf("2 MIG partitions:   alignment found a colliding set pair: %v (%s)",
+		f("aligned", mig), f("detail", outs[1].detail))
+	r.Blank()
+	r.Notef("with per-tenant L2/memory partitions the spy's eviction sets and the trojan's")
+	r.Notef("never share a physical set, so the Prime+Probe channel cannot be established —")
+	r.Notef("the isolation property the paper credits MIG with (unavailable on Pascal).")
+	r.SetMetric("baseline_aligned", "", boolAsMetric(baseline))
+	r.SetMetric("mig_aligned", "", boolAsMetric(mig))
 	return r, nil
 }
 
@@ -160,21 +156,24 @@ func Pairs(p Params) (*Result, error) {
 		missMeans = append(missMeans, o.missM)
 	}
 	hs, ms := stats.Summarize(hitMeans), stats.Summarize(missMeans)
-	r.addf("connected ordered pairs: %d; peer access refused (no direct NVLink): %d", connected, refused)
-	r.addf("remote hit  level across pairs: %s", hs)
-	r.addf("remote miss level across pairs: %s", ms)
-	r.addf("")
-	r.addf("timing is uniform across all single-hop peers, matching the paper's observation;")
+	r.Rowf("connected ordered pairs: %d; peer access refused (no direct NVLink): %d",
+		f("connected_pairs", connected), f("refused_pairs", refused))
+	r.Rowf("remote hit  level across pairs: %s", f("hit_summary", hs.String()))
+	r.Rowf("remote miss level across pairs: %s", f("miss_summary", ms.String()))
+	r.Blank()
+	r.Notef("timing is uniform across all single-hop peers, matching the paper's observation;")
 	if refused > 0 {
-		r.addf("the DGX-1 cube-mesh leaves %d of %d ordered pairs without a direct link.", refused, connected+refused)
+		r.Rowf("the DGX-1 cube-mesh leaves %d of %d ordered pairs without a direct link.",
+			f("refused_pairs", refused), f("total_pairs", connected+refused))
 	} else {
-		r.addf("the %s fabric connects every ordered pair directly — the unconnected-pair", p.mustProfile().Topology)
-		r.addf("error class the paper observed on the DGX-1 does not exist on this box.")
+		r.Rowf("the %s fabric connects every ordered pair directly — the unconnected-pair",
+			f("topology", p.mustProfile().Topology.String()))
+		r.Notef("error class the paper observed on the DGX-1 does not exist on this box.")
 	}
-	r.Metrics["connected_pairs"] = float64(connected)
-	r.Metrics["refused_pairs"] = float64(refused)
-	r.Metrics["hit_spread_cycles"] = hs.Max - hs.Min
-	r.Metrics["miss_spread_cycles"] = ms.Max - ms.Min
+	r.SetMetric("connected_pairs", "", float64(connected))
+	r.SetMetric("refused_pairs", "", float64(refused))
+	r.SetMetric("hit_spread_cycles", "cycles", hs.Max-hs.Min)
+	r.SetMetric("miss_spread_cycles", "cycles", ms.Max-ms.Min)
 	return r, nil
 }
 
@@ -272,18 +271,19 @@ func MultiGPU(p Params) (*Result, error) {
 	}
 
 	r := newResult("multigpu", "Covert channel over additional spy GPUs (extension)")
-	r.addf("%-28s %-16s %s", "configuration", "bandwidth MB/s", "error %")
+	r.Notef("%-28s %-16s %s", "configuration", "bandwidth MB/s", "error %")
 	for i, c := range configs {
 		bw, er := outs[i].bw, outs[i].errRate
-		r.addf("%-28s %-16.4f %.2f", c.name, bw, er)
+		r.Rowf("%-28s %-16.4f %.2f",
+			f("configuration", c.name), fu("bandwidth", "MB/s", bw), fu("error", "%", er))
 		key := c.name[:1] + "_" + c.name[len(c.name)-8:]
-		r.Metrics["bw_"+key] = bw
-		r.Metrics["err_"+key] = er
+		r.SetMetric("bw_"+key, "MB/s", bw)
+		r.SetMetric("err_"+key, "%", er)
 	}
-	r.addf("")
-	r.addf("aggregate bandwidth scales with total sets; splitting the spy side across two")
-	r.addf("GPUs carries the same payload while halving each receiver's load — the scaling")
-	r.addf("path the paper points to but does not evaluate. The shared bottleneck (the")
-	r.addf("target GPU's L2 ports) is unchanged, so error behaviour tracks total sets.")
+	r.Blank()
+	r.Notef("aggregate bandwidth scales with total sets; splitting the spy side across two")
+	r.Notef("GPUs carries the same payload while halving each receiver's load — the scaling")
+	r.Notef("path the paper points to but does not evaluate. The shared bottleneck (the")
+	r.Notef("target GPU's L2 ports) is unchanged, so error behaviour tracks total sets.")
 	return r, nil
 }

@@ -181,33 +181,36 @@ func FabricSweep(p Params) (*Result, error) {
 		return nil, err
 	}
 	r := newResult("fabricsweep", "Covert channel under switch-port contention")
-	r.addf("box: %s", prof)
-	r.addf("covert pair %v->%v rides switch plane %d; competitors share the spy's egress port",
-		spyGPU, trojanGPU, prof.Fabric.PlaneFor(spyGPU, trojanGPU))
-	r.addf("")
-	r.addf("%-14s %-12s %-10s %-14s %-20s %s", "bulk streams", "bw MB/s", "error %", "plane txns", "port bursts queued", "queue cycles")
+	r.Rowf("box: %s", f("box", prof.String()))
+	r.Rowf("covert pair %v->%v rides switch plane %d; competitors share the spy's egress port",
+		f("spy_gpu", spyGPU), f("trojan_gpu", trojanGPU),
+		f("covert_plane", prof.Fabric.PlaneFor(spyGPU, trojanGPU)))
+	r.Blank()
+	r.Notef("%-14s %-12s %-10s %-14s %-20s %s", "bulk streams", "bw MB/s", "error %", "plane txns", "port bursts queued", "queue cycles")
 	for _, o := range outs {
-		r.addf("%-14d %-12.4f %-10.2f %-14d %7d / %-10d %d",
-			o.streams, o.bw, o.errPct, o.planeTxns, o.portQueued, o.portBursts, uint64(o.queueCycles))
+		r.Rowf("%-14d %-12.4f %-10.2f %-14d %7d / %-10d %d",
+			f("streams", o.streams), fu("bandwidth", "MB/s", o.bw), fu("error", "%", o.errPct),
+			f("plane_txns", o.planeTxns), f("port_queued", o.portQueued),
+			f("port_bursts", o.portBursts), fu("queue_cycles", "cycles", uint64(o.queueCycles)))
 		suffix := fmt.Sprintf("_%dstreams", o.streams)
-		r.Metrics["bw_MBps"+suffix] = o.bw
-		r.Metrics["err_pct"+suffix] = o.errPct
-		r.Metrics["queue_cycles"+suffix] = float64(o.queueCycles)
-		r.Metrics["plane_txns"+suffix] = float64(o.planeTxns)
+		r.SetMetric("bw_MBps"+suffix, "MB/s", o.bw)
+		r.SetMetric("err_pct"+suffix, "%", o.errPct)
+		r.SetMetric("queue_cycles"+suffix, "cycles", float64(o.queueCycles))
+		r.SetMetric("plane_txns"+suffix, "txns", float64(o.planeTxns))
 		if o.planeTotal != o.linkTotal {
 			// Accounting invariant: every traversal lands on exactly
 			// one plane. A mismatch is a model bug worth shouting about.
-			r.addf("ACCOUNTING ERROR: plane txns %d != link txns %d", o.planeTotal, o.linkTotal)
+			r.Errorf("ACCOUNTING ERROR: plane txns %d != link txns %d", o.planeTotal, o.linkTotal)
 		}
 	}
-	r.addf("")
-	r.addf("competing streams queue FIFO at the shared egress port, so the spy's probe")
-	r.addf("bursts wait out the backlog. The covert protocol paces bits on a fixed slot")
-	r.addf("clock, so raw bandwidth barely moves — instead the queueing pushes probes off")
-	r.addf("their slots and the ERROR RATE climbs with every added stream, while the port")
-	r.addf("counters expose the contention directly (queued bursts, queue cycles).")
-	r.Metrics["streams_max"] = float64(fabricsweepStreams)
-	r.Metrics["err_rise_pct"] = outs[fabricsweepStreams].errPct - outs[0].errPct
-	r.Metrics["queue_growth"] = float64(outs[fabricsweepStreams].queueCycles) / float64(max(1, uint64(outs[0].queueCycles)))
+	r.Blank()
+	r.Notef("competing streams queue FIFO at the shared egress port, so the spy's probe")
+	r.Notef("bursts wait out the backlog. The covert protocol paces bits on a fixed slot")
+	r.Notef("clock, so raw bandwidth barely moves — instead the queueing pushes probes off")
+	r.Notef("their slots and the ERROR RATE climbs with every added stream, while the port")
+	r.Notef("counters expose the contention directly (queued bursts, queue cycles).")
+	r.SetMetric("streams_max", "", float64(fabricsweepStreams))
+	r.SetMetric("err_rise_pct", "%", outs[fabricsweepStreams].errPct-outs[0].errPct)
+	r.SetMetric("queue_growth", "x", float64(outs[fabricsweepStreams].queueCycles)/float64(max(1, uint64(outs[0].queueCycles))))
 	return r, nil
 }

@@ -90,11 +90,12 @@ func Fig13(p Params) (*Result, error) {
 		}
 		sort.Float64s(fs)
 		med := fs[len(fs)/2]
-		r.addf("hidden=%4d: total misses %7d, median per set %4.0f, max %4.0f",
-			h, gram.Total(), med, fs[len(fs)-1])
-		r.Metrics[fmt.Sprintf("total_misses_h%d", h)] = float64(gram.Total())
+		r.Rowf("hidden=%4d: total misses %7d, median per set %4.0f, max %4.0f",
+			f("hidden", h), fu("total_misses", "misses", gram.Total()),
+			fu("median_per_set", "misses", med), fu("max_per_set", "misses", fs[len(fs)-1]))
+		r.SetMetric(fmt.Sprintf("total_misses_h%d", h), "misses", float64(gram.Total()))
 	}
-	r.addf("miss intensity increases with hidden width, as in the paper's histograms.")
+	r.Notef("miss intensity increases with hidden width, as in the paper's histograms.")
 	return r, nil
 }
 
@@ -125,14 +126,15 @@ func TableII(p Params) (*Result, error) {
 	}
 
 	r := newResult("table2", "Average misses over all cache sets")
-	r.addf("%-18s %-22s %s", "Number of Neurons", "Measured Avg Misses", "Paper Avg Misses")
+	r.Notef("%-18s %-22s %s", "Number of Neurons", "Measured Avg Misses", "Paper Avg Misses")
 	reference := map[int]float64{}
 	avgs := avgsOut[:nRef]
 	for i, h := range mlpHiddenSizes {
 		avg := avgs[i]
 		reference[h] = avg
-		r.addf("%-18d %-22.1f %.0f", h, avg, paperAvg[h])
-		r.Metrics[fmt.Sprintf("avg_misses_h%d", h)] = avg
+		r.Rowf("%-18d %-22.1f %.0f",
+			f("neurons", h), fu("avg_misses", "misses", avg), fu("paper_avg_misses", "misses", paperAvg[h]))
+		r.SetMetric(fmt.Sprintf("avg_misses_h%d", h), "misses", avg)
 	}
 	monotone := 1.0
 	for i := 1; i < len(avgs); i++ {
@@ -140,7 +142,7 @@ func TableII(p Params) (*Result, error) {
 			monotone = 0
 		}
 	}
-	r.Metrics["monotone_in_hidden"] = monotone
+	r.SetMetric("monotone_in_hidden", "", monotone)
 
 	// Model extraction: fresh victims with unknown H (trials nRef..),
 	// classified by nearest reference average.
@@ -160,10 +162,12 @@ func TableII(p Params) (*Result, error) {
 		if best == h {
 			correct++
 		}
-		r.addf("extraction trial: true hidden=%3d, observed avg %.1f -> inferred %d", h, obs, best)
+		r.Rowf("extraction trial: true hidden=%3d, observed avg %.1f -> inferred %d",
+			f("true_hidden", h), fu("observed_avg", "misses", obs), f("inferred_hidden", best))
 	}
-	r.addf("model extraction: %d/%d hidden sizes recovered", correct, len(mlpHiddenSizes))
-	r.Metrics["extraction_correct"] = float64(correct)
+	r.Rowf("model extraction: %d/%d hidden sizes recovered",
+		f("extraction_correct", correct), f("extraction_total", len(mlpHiddenSizes)))
+	r.SetMetric("extraction_correct", "", float64(correct))
 	return r, nil
 }
 
@@ -189,14 +193,14 @@ func Fig14(p Params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.addf("%s", gram.RenderASCII(64, 14))
-		r.attachPGM(fmt.Sprintf("fig14_h%d", h), gram)
+		r.Chart(gram.RenderASCII(64, 14))
+		attachPGM(r, fmt.Sprintf("fig14_h%d", h), gram)
 		totals = append(totals, float64(gram.Total()))
-		r.Metrics[fmt.Sprintf("total_misses_h%d", h)] = float64(gram.Total())
+		r.SetMetric(fmt.Sprintf("total_misses_h%d", h), "misses", float64(gram.Total()))
 		freeVictim(v)
 	}
 	if totals[1] > totals[0] {
-		r.addf("512-neuron run shows denser misses than 128, matching Fig. 14a/b.")
+		r.Notef("512-neuron run shows denser misses than 128, matching Fig. 14a/b.")
 	}
 	return r, nil
 }
@@ -230,13 +234,14 @@ func Fig15(p Params) (*Result, error) {
 		return nil, err
 	}
 	r := newResult("fig15", "Memorygram for a two-epoch experiment")
-	r.attachPGM("fig15_two_epochs", gram)
-	r.addf("%s", gram.RenderASCII(72, 14))
+	attachPGM(r, "fig15_two_epochs", gram)
+	r.Chart(gram.RenderASCII(72, 14))
 	bursts := gram.ActiveBursts(0.2, 2)
-	r.addf("activity bursts detected: %d (victim trained %d epochs)", bursts, cfg.Epochs)
-	r.addf("final training loss: %.3f", v.FinalLoss)
-	r.Metrics["epochs_detected"] = float64(bursts)
-	r.Metrics["epochs_true"] = float64(cfg.Epochs)
+	r.Rowf("activity bursts detected: %d (victim trained %d epochs)",
+		f("bursts_detected", bursts), f("epochs_trained", cfg.Epochs))
+	r.Rowf("final training loss: %.3f", f("final_loss", v.FinalLoss))
+	r.SetMetric("epochs_detected", "", float64(bursts))
+	r.SetMetric("epochs_true", "", float64(cfg.Epochs))
 	ep := gram.EpochTotals()
 	series := plot.Series{Name: "misses per sweep"}
 	for i, t := range ep {

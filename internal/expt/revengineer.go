@@ -3,8 +3,6 @@
 package expt
 
 import (
-	"fmt"
-
 	"spybox/internal/arch"
 	"spybox/internal/core"
 	"spybox/internal/plot"
@@ -26,8 +24,9 @@ func Fig4(p Params) (*Result, error) {
 		return nil, err
 	}
 	r := newResult("fig4", "Local and remote GPU access time")
-	r.addf("%d accesses per class; histogram of all %d samples:", accesses, 4*accesses)
-	r.Lines = append(r.Lines, prof.Histogram.Render(48))
+	r.Rowf("%d accesses per class; histogram of all %d samples:",
+		f("accesses_per_class", accesses), f("total_samples", 4*accesses))
+	r.Chart(prof.Histogram.Render(48))
 	classes := []struct {
 		name    string
 		samples []float64
@@ -40,13 +39,16 @@ func Fig4(p Params) (*Result, error) {
 	}
 	for i, c := range classes {
 		s := stats.Summarize(c.samples)
-		r.addf("%-24s measured mean %6.0f cy (center %6.0f)  [paper cluster ~%d cy]",
-			c.name, s.Mean, prof.Thresholds.Centers[i], uint64(c.nominal))
-		r.Metrics["center_"+c.name[:8]] = prof.Thresholds.Centers[i]
+		r.Rowf("%-24s measured mean %6.0f cy (center %6.0f)  [paper cluster ~%d cy]",
+			f("class", c.name),
+			fu("measured_mean", "cycles", s.Mean),
+			fu("center", "cycles", prof.Thresholds.Centers[i]),
+			fu("paper_cluster", "cycles", uint64(c.nominal)))
+		r.SetMetric("center_"+c.name[:8], "cycles", prof.Thresholds.Centers[i])
 	}
-	r.addf("thresholds: %s", prof.Thresholds)
-	r.Metrics["local_boundary"] = prof.Thresholds.LocalBoundary
-	r.Metrics["remote_boundary"] = prof.Thresholds.RemoteBoundary
+	r.Rowf("thresholds: %s", f("thresholds", prof.Thresholds.String()))
+	r.SetMetric("local_boundary", "cycles", prof.Thresholds.LocalBoundary)
+	r.SetMetric("remote_boundary", "cycles", prof.Thresholds.RemoteBoundary)
 	return r, nil
 }
 
@@ -92,10 +94,11 @@ func Fig5(p Params) (*Result, error) {
 			}
 		}
 		r.Series = append(r.Series, series)
-		r.addf("%s GPU: eviction begins at k=%d conflict lines (paper: every 16th access)", side.name, step)
-		r.Metrics["eviction_step_"+side.name] = float64(step)
+		r.Rowf("%s GPU: eviction begins at k=%d conflict lines (paper: every 16th access)",
+			f("side", side.name), fu("eviction_step", "lines", step))
+		r.SetMetric("eviction_step_"+side.name, "lines", float64(step))
 	}
-	r.Lines = append(r.Lines, plot.Line(r.Series, 64, 14, "conflict lines accessed", "target access cycles"))
+	r.Chart(plot.Line(r.Series, 64, 14, "conflict lines accessed", "target access cycles"))
 	return r, nil
 }
 
@@ -127,18 +130,23 @@ func TableI(p Params) (*Result, error) {
 		return nil, err
 	}
 	r := newResult("table1", "L2 cache architecture")
-	r.addf("%-24s %-12s %s", "Cache Attribute", "Measured", "Paper (Table I)")
-	r.addf("%-24s %-12d %s", "L2 cache size", geo.CacheBytes, "4 MB")
-	r.addf("%-24s %-12d %s", "Number of sets", geo.Sets, "2048")
-	r.addf("%-24s %-12d %s", "Cache line size", geo.LineSize, "128 B")
-	r.addf("%-24s %-12d %s", "Cache lines per set", geo.Ways, "16")
-	r.addf("%-24s %-12s %s", "Replacement policy", geo.Policy, "LRU")
-	r.Metrics["sets"] = float64(geo.Sets)
-	r.Metrics["ways"] = float64(geo.Ways)
-	r.Metrics["line_size"] = float64(geo.LineSize)
-	r.Metrics["cache_bytes"] = float64(geo.CacheBytes)
+	r.Notef("%-24s %-12s %s", "Cache Attribute", "Measured", "Paper (Table I)")
+	r.Rowf("%-24s %-12d %s",
+		f("attribute", "L2 cache size"), fu("measured", "bytes", geo.CacheBytes), f("paper", "4 MB"))
+	r.Rowf("%-24s %-12d %s",
+		f("attribute", "Number of sets"), f("measured", geo.Sets), f("paper", "2048"))
+	r.Rowf("%-24s %-12d %s",
+		f("attribute", "Cache line size"), fu("measured", "bytes", geo.LineSize), f("paper", "128 B"))
+	r.Rowf("%-24s %-12d %s",
+		f("attribute", "Cache lines per set"), f("measured", geo.Ways), f("paper", "16"))
+	r.Rowf("%-24s %-12s %s",
+		f("attribute", "Replacement policy"), f("measured", geo.Policy), f("paper", "LRU"))
+	r.SetMetric("sets", "", float64(geo.Sets))
+	r.SetMetric("ways", "", float64(geo.Ways))
+	r.SetMetric("line_size", "bytes", float64(geo.LineSize))
+	r.SetMetric("cache_bytes", "bytes", float64(geo.CacheBytes))
 	if geo.Policy == "LRU" {
-		r.Metrics["policy_lru"] = 1
+		r.SetMetric("policy_lru", "", 1)
 	}
 	return r, nil
 }
@@ -174,20 +182,20 @@ func Fig7(p Params) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			r.addf("trojan set (group %d, offset %3d) -> spy set #%4d: sweep avg %4.0f cy, Alg.2 avg %4.0f cy, mapped=%v",
-				te.Group, te.Offset, idx, avgs[idx], avg, mapped)
+			r.Rowf("trojan set (group %d, offset %3d) -> spy set #%4d: sweep avg %4.0f cy, Alg.2 avg %4.0f cy, mapped=%v",
+				f("trojan_group", te.Group), f("trojan_offset", te.Offset), f("spy_set", idx),
+				fu("sweep_avg", "cycles", avgs[idx]), fu("alg2_avg", "cycles", avg), f("mapped", mapped))
 		} else {
-			r.addf("trojan set (group %d, offset %3d): NO MATCH FOUND", te.Group, te.Offset)
+			r.Rowf("trojan set (group %d, offset %3d): NO MATCH FOUND",
+				f("trojan_group", te.Group), f("trojan_offset", te.Offset))
 		}
 	}
 	mm, um := stats.Mean(matchedAvgs), stats.Mean(unmatchedAvgs)
-	r.addf("matched spy sets avg probe: %.0f cy; unmatched: %.0f cy (separation %.2fx)",
-		mm, um, mm/um)
-	r.addf("aligned %d/%d trojan sets", aligned, numTrojanSets)
-	r.Metrics["aligned_fraction"] = float64(aligned) / float64(numTrojanSets)
-	r.Metrics["matched_avg_cycles"] = mm
-	r.Metrics["unmatched_avg_cycles"] = um
+	r.Rowf("matched spy sets avg probe: %.0f cy; unmatched: %.0f cy (separation %.2fx)",
+		fu("matched_avg", "cycles", mm), fu("unmatched_avg", "cycles", um), f("separation", mm/um))
+	r.Rowf("aligned %d/%d trojan sets", f("aligned", aligned), f("trojan_sets", numTrojanSets))
+	r.SetMetric("aligned_fraction", "", float64(aligned)/float64(numTrojanSets))
+	r.SetMetric("matched_avg_cycles", "cycles", mm)
+	r.SetMetric("unmatched_avg_cycles", "cycles", um)
 	return r, nil
 }
-
-var _ = fmt.Sprintf // keep fmt for addf users

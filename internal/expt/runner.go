@@ -6,9 +6,15 @@
 // parallelism level — `-parallel 1` and `-parallel 8` produce the same
 // reports, metrics, and artifacts. EXPERIMENTS.md lists which
 // experiments are trial-decomposed and at what granularity.
+//
+// The runner is also where cancellation and progress live: it checks
+// Params.Ctx before claiming each trial (so a SIGINT'd run stops at
+// the next trial boundary instead of being killed mid-flight) and
+// reports per-trial start/finish through Params.Hooks.
 package expt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,12 +54,15 @@ func (p Params) parallelism() int {
 // p.parallelism() goroutines and returns the outputs in trial order.
 // Each trial receives Params with its TrialSeed-derived seed. On
 // failure the error of the lowest-indexed failing trial is returned —
-// the same one a serial run would have stopped at.
+// the same one a serial run would have stopped at. A cancelled
+// context wins only when no trial failed; the returned error then
+// wraps the context's error.
 func RunTrials[T any](p Params, n int, run func(t Trial) (T, error)) ([]T, error) {
-	return runPool(p.parallelism(), n, func(i int) (T, error) {
+	return runPool(p.ctx(), p.Hooks, p.parallelism(), n, func(i int) (T, error) {
 		tp := p
 		tp.Seed = TrialSeed(p.Seed, i)
 		tp.Parallel = 1
+		tp.Hooks = nil // trials never recursively observe
 		return run(Trial{Index: i, Params: tp})
 	})
 }
@@ -62,10 +71,21 @@ func RunTrials[T any](p Params, n int, run func(t Trial) (T, error)) ([]T, error
 // trial API: one inline trial carrying the run's own seed (no
 // derivation), so existing single-shot experiments keep their exact
 // historical outputs — including their errors, which gain no
-// "trial 0" framing because there are no trials to speak of.
+// "trial 0" framing because there are no trials to speak of. The
+// adapter still honours cancellation (checked before the body runs;
+// single-shot bodies are not interruptible mid-flight) and reports
+// the body as trial 0 of 1 to the progress hooks.
 func OneTrial(body func(Params) (*Result, error)) func(Params) (*Result, error) {
 	return func(p Params) (*Result, error) {
-		return body(p)
+		if err := p.ctx().Err(); err != nil {
+			return nil, fmt.Errorf("run cancelled: %w", err)
+		}
+		hooks := p.Hooks
+		p.Hooks = nil
+		hooks.start(0, 1)
+		r, err := body(p)
+		hooks.done(0, 1, err)
+		return r, err
 	}
 }
 
@@ -73,14 +93,19 @@ func OneTrial(body func(Params) (*Result, error)) func(Params) (*Result, error) 
 // `workers` goroutines claim indices 0..n-1 in order and write results
 // into an index-addressed slice, which is what makes the merge step
 // order-independent of scheduling.
-func runPool[T any](workers, n int, run func(i int) (T, error)) ([]T, error) {
+func runPool[T any](ctx context.Context, hooks *TrialHooks, workers, n int, run func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("run cancelled before trial %d/%d: %w", i, n, err)
+			}
+			hooks.start(i, n)
 			v, err := run(i)
+			hooks.done(i, n, err)
 			if err != nil {
 				return nil, fmt.Errorf("trial %d: %w", i, err)
 			}
@@ -95,10 +120,12 @@ func runPool[T any](workers, n int, run func(i int) (T, error)) ([]T, error) {
 		mu        sync.Mutex
 		errTrial  = n
 		firstErr  error
+		cancelled atomic.Int64 // lowest index refused because ctx was done
 		wg        sync.WaitGroup
 	)
 	next.Store(-1)
 	lowestErr.Store(int64(n))
+	cancelled.Store(int64(n))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -106,6 +133,18 @@ func runPool[T any](workers, n int, run func(i int) (T, error)) ([]T, error) {
 			for {
 				i := int(next.Add(1))
 				if i >= n {
+					return
+				}
+				// A done context stops the pool at the next trial
+				// boundary: in-flight trials finish (their machines
+				// stay consistent), unclaimed trials are abandoned.
+				if ctx.Err() != nil {
+					for {
+						c := cancelled.Load()
+						if int64(i) >= c || cancelled.CompareAndSwap(c, int64(i)) {
+							break
+						}
+					}
 					return
 				}
 				// Skip trials above the lowest failure seen so far:
@@ -117,7 +156,9 @@ func runPool[T any](workers, n int, run func(i int) (T, error)) ([]T, error) {
 				if int64(i) > lowestErr.Load() {
 					continue
 				}
+				hooks.start(i, n)
 				v, err := run(i)
+				hooks.done(i, n, err)
 				if err != nil {
 					mu.Lock()
 					if i < errTrial {
@@ -134,6 +175,9 @@ func runPool[T any](workers, n int, run func(i int) (T, error)) ([]T, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, fmt.Errorf("trial %d: %w", errTrial, firstErr)
+	}
+	if c := cancelled.Load(); c < int64(n) {
+		return nil, fmt.Errorf("run cancelled before trial %d/%d: %w", c, n, ctx.Err())
 	}
 	return out, nil
 }

@@ -1,0 +1,45 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleRoundTrip: every scale's String spelling parses back to
+// itself — the property the CLI flag help and the registry rely on.
+func TestScaleRoundTrip(t *testing.T) {
+	for _, s := range Scales() {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScale(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	if len(Scales()) != 3 {
+		t.Errorf("Scales() = %v, want the three documented scales", Scales())
+	}
+}
+
+func TestScaleNames(t *testing.T) {
+	names := ScaleNames()
+	want := []string{"small", "default", "paper"}
+	if len(names) != len(want) {
+		t.Fatalf("ScaleNames() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("ScaleNames()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	// The unknown-scale error names every valid spelling, so the CLI
+	// never hardcodes the list again.
+	_, err := ParseScale("bogus")
+	if err == nil || !strings.Contains(err.Error(), strings.Join(want, "|")) {
+		t.Errorf("ParseScale error %v does not enumerate the scales", err)
+	}
+}
+
+func TestScaleStringUnknown(t *testing.T) {
+	if got := Scale(42).String(); got != "Scale(42)" {
+		t.Errorf("unknown scale renders %q", got)
+	}
+}

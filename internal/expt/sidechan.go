@@ -106,11 +106,11 @@ func Fig11(p Params) (*Result, error) {
 	r := newResult("fig11", "Memorygram of 6 applications")
 	for i, name := range victim.AppNames {
 		gram := grams[i]
-		r.addf("%s", gram.RenderASCII(64, 16))
-		r.Metrics["total_misses_"+name] = float64(gram.Total())
-		r.attachPGM("fig11_"+name, gram)
+		r.Chart(gram.RenderASCII(64, 16))
+		r.SetMetric("total_misses_"+name, "misses", float64(gram.Total()))
+		attachPGM(r, "fig11_"+name, gram)
 	}
-	r.addf("each application leaves a distinct footprint; x = spy timeline, y = spy set index.")
+	r.Notef("each application leaves a distinct footprint; x = spy timeline, y = spy set index.")
 	return r, nil
 }
 
@@ -190,17 +190,18 @@ func Fig12(p Params) (*Result, error) {
 	knnAcc := classify.Evaluate(knn, test, short).Accuracy()
 
 	r := newResult("fig12", "Confusion matrix for application fingerprinting")
-	r.addf("samples: %d per class (paper: 1500); split train/val/test = %d/%d/%d",
-		perClass, len(train), len(val), len(test))
-	r.Lines = append(r.Lines, conf.String())
-	r.addf("model selected on validation: %s (val acc %.2f%%); softmax test: %.2f%%; kNN test: %.2f%%",
-		chosen, 100*valAcc, 100*smAcc, 100*knnAcc)
-	r.Metrics["softmax_accuracy"] = smAcc
-	r.addf("paper: 99.91%% over 7200 test samples")
-	r.Metrics["test_accuracy"] = conf.Accuracy()
-	r.Metrics["knn_accuracy"] = knnAcc
+	r.Rowf("samples: %d per class (paper: 1500); split train/val/test = %d/%d/%d",
+		f("samples_per_class", perClass), f("train", len(train)), f("val", len(val)), f("test", len(test)))
+	r.Chart(conf.String())
+	r.Rowf("model selected on validation: %s (val acc %.2f%%); softmax test: %.2f%%; kNN test: %.2f%%",
+		f("model", chosen), fu("val_accuracy", "%", 100*valAcc),
+		fu("softmax_test_accuracy", "%", 100*smAcc), fu("knn_test_accuracy", "%", 100*knnAcc))
+	r.SetMetric("softmax_accuracy", "", smAcc)
+	r.Notef("paper: 99.91%% over 7200 test samples")
+	r.SetMetric("test_accuracy", "", conf.Accuracy())
+	r.SetMetric("knn_accuracy", "", knnAcc)
 	for c, name := range victim.AppNames {
-		r.Metrics[fmt.Sprintf("recall_%s", name)] = conf.ClassAccuracy(c)
+		r.SetMetric(fmt.Sprintf("recall_%s", name), "", conf.ClassAccuracy(c))
 	}
 	return r, nil
 }

@@ -5,16 +5,16 @@ package plot
 
 import (
 	"fmt"
-	"io"
 	"math"
 	"strings"
+
+	"spybox/pkg/spybox/report"
 )
 
-// Series is one named line of (x, y) points.
-type Series struct {
-	Name string
-	X, Y []float64
-}
+// Series is one named line of (x, y) points. It is the public
+// report.Series: experiments build chart data directly in the form
+// the structured result model (and its JSON encoding) carries.
+type Series = report.Series
 
 // Line draws one or more series as an ASCII scatter/line chart of the
 // given size. Each series uses its own glyph.
@@ -86,44 +86,4 @@ func Bars(labels []string, values []float64, width int) string {
 		fmt.Fprintf(&b, "%-*s | %-*s %.4g\n", maxL, labels[i], width, strings.Repeat("#", bar), v)
 	}
 	return b.String()
-}
-
-// CSV writes series as columns: x, then one y column per series
-// (series are assumed to share X; shorter series pad with blanks).
-func CSV(w io.Writer, series []Series) error {
-	if len(series) == 0 {
-		return nil
-	}
-	header := []string{"x"}
-	for _, s := range series {
-		header = append(header, s.Name)
-	}
-	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
-		return err
-	}
-	n := 0
-	for _, s := range series {
-		if len(s.X) > n {
-			n = len(s.X)
-		}
-	}
-	for i := 0; i < n; i++ {
-		row := make([]string, 0, len(series)+1)
-		if i < len(series[0].X) {
-			row = append(row, fmt.Sprintf("%g", series[0].X[i]))
-		} else {
-			row = append(row, "")
-		}
-		for _, s := range series {
-			if i < len(s.Y) {
-				row = append(row, fmt.Sprintf("%g", s.Y[i]))
-			} else {
-				row = append(row, "")
-			}
-		}
-		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
-			return err
-		}
-	}
-	return nil
 }

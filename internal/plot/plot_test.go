@@ -1,7 +1,6 @@
 package plot
 
 import (
-	"bytes"
 	"strings"
 	"testing"
 )
@@ -53,39 +52,5 @@ func TestBarsZeroValues(t *testing.T) {
 	out := Bars([]string{"z"}, []float64{0}, 10)
 	if strings.Contains(out, "#") {
 		t.Error("zero value drew a bar")
-	}
-}
-
-func TestCSV(t *testing.T) {
-	var buf bytes.Buffer
-	s := []Series{
-		{Name: "bw", X: []float64{1, 2}, Y: []float64{0.5, 1.5}},
-		{Name: "err", X: []float64{1, 2}, Y: []float64{0.1, 0.2}},
-	}
-	if err := CSV(&buf, s); err != nil {
-		t.Fatal(err)
-	}
-	want := "x,bw,err\n1,0.5,0.1\n2,1.5,0.2\n"
-	if buf.String() != want {
-		t.Errorf("CSV = %q, want %q", buf.String(), want)
-	}
-}
-
-func TestCSVEmptyAndRagged(t *testing.T) {
-	var buf bytes.Buffer
-	if err := CSV(&buf, nil); err != nil || buf.Len() != 0 {
-		t.Error("empty CSV should write nothing")
-	}
-	s := []Series{
-		{Name: "long", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
-		{Name: "short", X: []float64{1}, Y: []float64{9}},
-	}
-	buf.Reset()
-	if err := CSV(&buf, s); err != nil {
-		t.Fatal(err)
-	}
-	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
-	if len(lines) != 4 {
-		t.Errorf("ragged CSV rows = %d, want 4", len(lines))
 	}
 }

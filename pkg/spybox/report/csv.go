@@ -1,0 +1,47 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSV writes series as columns: x, then one y column per series
+// (series are assumed to share X; shorter series pad with blanks).
+func CSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	header := []string{"x"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(series)+1)
+		if i < len(series[0].X) {
+			row = append(row, fmt.Sprintf("%g", series[0].X[i]))
+		} else {
+			row = append(row, "")
+		}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+// The versioned JSON encoding of results. A Document wraps the
+// results with a schema tag; Decode refuses documents from a
+// different schema version instead of misreading them. The encoding
+// is stable: Encode(Decode(doc)) reproduces doc byte-for-byte (the
+// schema test pins this), so the schema version only moves when the
+// shape of the document changes.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Schema identifies the JSON document layout. Consumers should treat
+// any other value as unreadable; see the schema policy in the README.
+const Schema = "spybox.report/v1"
+
+// Document is the top-level JSON value: a schema tag plus the results
+// of one run.
+type Document struct {
+	SchemaVersion string    `json:"schema"`
+	Results       []*Result `json:"results"`
+}
+
+// Encode writes the results as an indented, schema-tagged JSON
+// document. Output is deterministic: field order is fixed, metric
+// lists are key-sorted, and artifact maps encode in sorted key order.
+func Encode(w io.Writer, results ...*Result) error {
+	if results == nil {
+		results = []*Result{} // "results" must be an array, never null
+	}
+	doc := Document{SchemaVersion: Schema, Results: results}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("report: encoding results: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Decode reads a document produced by Encode, verifying the schema
+// version before trusting the payload.
+func Decode(r io.Reader) ([]*Result, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("report: decoding document: %w", err)
+	}
+	if doc.SchemaVersion != Schema {
+		return nil, fmt.Errorf("report: unsupported schema %q (this build reads %q)", doc.SchemaVersion, Schema)
+	}
+	return doc.Results, nil
+}
+
+// resultJSON is the wire shape of a Result: metrics become a
+// key-sorted list with units, everything else encodes directly.
+type resultJSON struct {
+	ID        string            `json:"id"`
+	Title     string            `json:"title"`
+	Records   []Record          `json:"records"`
+	Metrics   []Metric          `json:"metrics"`
+	Series    []Series          `json:"series,omitempty"`
+	Artifacts map[string][]byte `json:"artifacts,omitempty"`
+}
+
+// MarshalJSON encodes the metrics as an ordered list so units ride
+// along and the output is deterministic.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	art := r.Artifacts
+	if len(art) == 0 {
+		art = nil
+	}
+	return json.Marshal(resultJSON{
+		ID: r.ID, Title: r.Title, Records: r.Records,
+		Metrics: r.MetricList(), Series: r.Series, Artifacts: art,
+	})
+}
+
+// UnmarshalJSON rebuilds the metric and unit maps from the wire list.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = Result{ID: w.ID, Title: w.Title, Records: w.Records, Series: w.Series,
+		Metrics: map[string]float64{}, Artifacts: map[string][]byte{}}
+	for _, m := range w.Metrics {
+		r.SetMetric(m.Key, m.Unit, m.Value)
+	}
+	for name, data := range w.Artifacts {
+		r.Artifacts[name] = data
+	}
+	return nil
+}
+
+// jsonValue maps non-finite floats to their string spelling: JSON has
+// no NaN/Inf literals and encoding/json would otherwise fail the whole
+// document over one degenerate ratio. Strings round-trip stably.
+func jsonValue(v any) any {
+	switch f := v.(type) {
+	case float64:
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return strconv.FormatFloat(f, 'g', -1, 64)
+		}
+	case float32:
+		if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+			return strconv.FormatFloat(float64(f), 'g', -1, 32)
+		}
+	}
+	return v
+}
+
+// MarshalJSON guards field values against non-finite floats.
+func (f Field) MarshalJSON() ([]byte, error) {
+	type wire Field // drops the method, keeps the tags
+	w := wire(f)
+	w.Value = jsonValue(w.Value)
+	return json.Marshal(w)
+}
+
+// wireFloats guards a float slice for the wire: finite values stay
+// numbers, non-finite ones become their string spelling. A nil slice
+// stays nil so the encoding of absent axes is unchanged.
+func wireFloats(xs []float64) []any {
+	if xs == nil {
+		return nil
+	}
+	out := make([]any, len(xs))
+	for i, x := range xs {
+		out[i] = jsonValue(x)
+	}
+	return out
+}
+
+// parseWireFloat reads a wire value written by jsonValue back into a
+// float64.
+func parseWireFloat(what string, v any) (float64, error) {
+	switch v := v.(type) {
+	case float64:
+		return v, nil
+	case string:
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("report: %s has non-numeric value %q", what, v)
+		}
+		return f, nil
+	}
+	return 0, fmt.Errorf("report: %s has value of type %T", what, v)
+}
+
+// seriesWire lets chart points carry string-spelled non-finite floats.
+type seriesWire struct {
+	Name string `json:"name"`
+	X    []any  `json:"x"`
+	Y    []any  `json:"y"`
+}
+
+// MarshalJSON guards chart points against non-finite floats.
+func (s Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(seriesWire{Name: s.Name, X: wireFloats(s.X), Y: wireFloats(s.Y)})
+}
+
+// UnmarshalJSON accepts both numeric and string-spelled points.
+func (s *Series) UnmarshalJSON(b []byte) error {
+	var w seriesWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	parse := func(axis string, vs []any) ([]float64, error) {
+		if vs == nil {
+			return nil, nil
+		}
+		out := make([]float64, len(vs))
+		for i, v := range vs {
+			f, err := parseWireFloat(fmt.Sprintf("series %q %s[%d]", w.Name, axis, i), v)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = f
+		}
+		return out, nil
+	}
+	x, err := parse("x", w.X)
+	if err != nil {
+		return err
+	}
+	y, err := parse("y", w.Y)
+	if err != nil {
+		return err
+	}
+	*s = Series{Name: w.Name, X: x, Y: y}
+	return nil
+}
+
+// metricWire lets Metric.Value carry either a number or the string
+// spelling of a non-finite float.
+type metricWire struct {
+	Key   string `json:"key"`
+	Unit  string `json:"unit,omitempty"`
+	Value any    `json:"value"`
+}
+
+// MarshalJSON guards metric values against non-finite floats.
+func (m Metric) MarshalJSON() ([]byte, error) {
+	return json.Marshal(metricWire{Key: m.Key, Unit: m.Unit, Value: jsonValue(m.Value)})
+}
+
+// UnmarshalJSON accepts both numeric and string-spelled values.
+func (m *Metric) UnmarshalJSON(b []byte) error {
+	var w metricWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	m.Key, m.Unit = w.Key, w.Unit
+	f, err := parseWireFloat(fmt.Sprintf("metric %q", w.Key), w.Value)
+	if err != nil {
+		return err
+	}
+	m.Value = f
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package report is the structured result model of the spybox
+// reproduction: every experiment produces a Result made of ordered
+// Records (keyed fields with an exact text rendering), headline
+// Metrics with units, chart Series, and binary Artifacts.
+//
+// Two renderers consume the model. The text renderer (Result.Print)
+// reproduces the historical free-form reports byte-for-byte — the
+// repository's golden tests pin this. The JSON codec (Encode/Decode)
+// emits a schema-versioned machine-readable document that decodes and
+// re-encodes to identical bytes, so external tooling can rely on it.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Field is one keyed value of a Record. Value is a JSON-friendly
+// scalar: string, bool, or any integer or float type. Producers pass
+// the same values the text rendering formats, so the two views can
+// never drift apart.
+type Field struct {
+	Key   string `json:"key"`
+	Unit  string `json:"unit,omitempty"`
+	Value any    `json:"value"`
+}
+
+// F builds a unitless field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// FU builds a field carrying a unit ("cycles", "MB/s", "%", ...).
+func FU(key, unit string, value any) Field { return Field{Key: key, Unit: unit, Value: value} }
+
+// Record kinds. Rows carry data in Fields; the other kinds are
+// presentation-only (their payload is the Text).
+const (
+	KindRow   = "row"   // a data row; Fields hold the keyed values
+	KindNote  = "note"  // narrative commentary or a table header
+	KindChart = "chart" // a pre-rendered multi-line figure block
+	KindBlank = "blank" // a spacer line
+	KindError = "error" // a non-fatal problem surfaced in the report
+)
+
+// Record is one ordered row of an experiment report. Text is the
+// exact human-readable rendering (what the text renderer prints);
+// Fields are the machine-readable values of KindRow records.
+type Record struct {
+	Kind   string  `json:"kind"`
+	Text   string  `json:"text"`
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// Metric is one headline number with its unit, as encoded to JSON.
+type Metric struct {
+	Key   string  `json:"key"`
+	Unit  string  `json:"unit,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// Series is one named line of (x, y) chart points (also exported as
+// CSV by the CLI's -out flag).
+type Series struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// Result is one experiment's reproduction output.
+type Result struct {
+	ID    string
+	Title string
+	// Records are the report rows, in print order.
+	Records []Record
+	// Series are optional chart data (also exported as CSV).
+	Series []Series
+	// Metrics are the headline numbers, keyed for EXPERIMENTS.md.
+	// Units holds the optional unit per metric key; use SetMetric to
+	// keep both in step.
+	Metrics map[string]float64
+	Units   map[string]string
+	// Artifacts are binary outputs (PGM memorygram images), written
+	// next to the CSVs when the CLI is given -out.
+	Artifacts map[string][]byte
+}
+
+// New starts an empty result.
+func New(id, title string) *Result {
+	return &Result{ID: id, Title: title, Metrics: map[string]float64{}, Artifacts: map[string][]byte{}}
+}
+
+// Rowf appends a data row. The text rendering is
+// fmt.Sprintf(format, field values in order) — the fields are the
+// single source of both views, which is what keeps the text reports
+// byte-identical to the pre-structured code while the same values
+// flow into JSON.
+func (r *Result) Rowf(format string, fields ...Field) {
+	args := make([]any, len(fields))
+	for i, f := range fields {
+		args[i] = f.Value
+	}
+	r.Records = append(r.Records, Record{Kind: KindRow, Text: fmt.Sprintf(format, args...), Fields: fields})
+}
+
+// Notef appends a commentary or table-header record; the arguments
+// are formatted into the text only.
+func (r *Result) Notef(format string, args ...any) {
+	r.Records = append(r.Records, Record{Kind: KindNote, Text: fmt.Sprintf(format, args...)})
+}
+
+// Errorf appends a non-fatal problem record (e.g. an artifact that
+// failed to render) so the failure is visible in the report.
+func (r *Result) Errorf(format string, args ...any) {
+	r.Records = append(r.Records, Record{Kind: KindError, Text: fmt.Sprintf(format, args...)})
+}
+
+// Chart appends a pre-rendered multi-line figure block (ASCII chart,
+// histogram, memorygram, confusion matrix).
+func (r *Result) Chart(text string) {
+	r.Records = append(r.Records, Record{Kind: KindChart, Text: text})
+}
+
+// Blank appends a spacer line.
+func (r *Result) Blank() {
+	r.Records = append(r.Records, Record{Kind: KindBlank})
+}
+
+// SetMetric records a headline metric and its unit.
+func (r *Result) SetMetric(key, unit string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[key] = v
+	if unit != "" {
+		if r.Units == nil {
+			r.Units = map[string]string{}
+		}
+		r.Units[key] = unit
+	}
+}
+
+// MetricList returns the metrics as typed records, sorted by key (the
+// order the text renderer prints and the JSON codec encodes).
+func (r *Result) MetricList() []Metric {
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Metric, len(keys))
+	for i, k := range keys {
+		out[i] = Metric{Key: k, Unit: r.Units[k], Value: r.Metrics[k]}
+	}
+	return out
+}
+
+// Lines returns the text rendering of each record, in order — the
+// report body as the pre-structured code stored it.
+func (r *Result) Lines() []string {
+	out := make([]string, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = rec.Text
+	}
+	return out
+}
+
+// Print writes the full text report: header, record texts in order,
+// and the sorted metrics block. This rendering is pinned byte-for-byte
+// by the repository's golden tests.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== %s — %s ===\n", r.ID, r.Title)
+	for _, rec := range r.Records {
+		fmt.Fprintln(w, rec.Text)
+	}
+	if len(r.Metrics) > 0 {
+		fmt.Fprintln(w, "metrics:")
+		for _, m := range r.MetricList() {
+			fmt.Fprintf(w, "  %-32s %g\n", m.Key, m.Value)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,171 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// sample builds a result exercising every record kind, units,
+// artifacts, and series.
+func sample() *Result {
+	r := New("figX", "A sample experiment")
+	r.Notef("%-6s %-10s", "sets", "bw")
+	r.Rowf("%-6d %-10.4f", F("sets", 4), FU("bandwidth", "MB/s", 3.95))
+	r.Rowf("policy %s ok=%v", F("policy", "LRU"), F("ok", true))
+	r.Blank()
+	r.Chart("| *\n| **\n+---")
+	r.Errorf("ARTIFACT ERROR: %s", "disk is lava")
+	r.SetMetric("bw", "MB/s", 3.95)
+	r.SetMetric("aligned", "", 1)
+	r.Series = []Series{{Name: "bw", X: []float64{1, 2}, Y: []float64{0.5, 1}}}
+	r.Artifacts["x.pgm"] = []byte{1, 2, 3}
+	return r
+}
+
+func TestRowfTextFromFields(t *testing.T) {
+	r := New("x", "t")
+	r.Rowf("%-6d %-10.4f %s", F("sets", 4), FU("bw", "MB/s", 3.95), F("tag", "hi"))
+	rec := r.Records[0]
+	if rec.Kind != KindRow {
+		t.Errorf("kind = %q", rec.Kind)
+	}
+	if want := "4      3.9500     hi"; rec.Text != want {
+		t.Errorf("text %q, want %q", rec.Text, want)
+	}
+	if len(rec.Fields) != 3 || rec.Fields[1].Unit != "MB/s" || rec.Fields[1].Value != 3.95 {
+		t.Errorf("fields %+v", rec.Fields)
+	}
+}
+
+func TestPrintLayout(t *testing.T) {
+	r := New("figX", "Title here")
+	r.Notef("line one")
+	r.Rowf("v=%d", F("v", 7))
+	r.SetMetric("zz", "", 2)
+	r.SetMetric("aa", "cycles", 1.5)
+	var b strings.Builder
+	r.Print(&b)
+	want := "=== figX — Title here ===\n" +
+		"line one\n" +
+		"v=7\n" +
+		"metrics:\n" +
+		"  aa                               1.5\n" +
+		"  zz                               2\n" +
+		"\n"
+	if b.String() != want {
+		t.Errorf("print output:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+func TestLines(t *testing.T) {
+	r := sample()
+	lines := r.Lines()
+	if len(lines) != len(r.Records) {
+		t.Fatalf("%d lines for %d records", len(lines), len(r.Records))
+	}
+	if lines[3] != "" {
+		t.Errorf("blank record renders %q", lines[3])
+	}
+	if !strings.Contains(lines[5], "disk is lava") {
+		t.Errorf("error record text %q", lines[5])
+	}
+}
+
+func TestMetricListSortedWithUnits(t *testing.T) {
+	r := sample()
+	ms := r.MetricList()
+	if len(ms) != 2 || ms[0].Key != "aligned" || ms[1].Key != "bw" {
+		t.Fatalf("metric list %+v", ms)
+	}
+	if ms[1].Unit != "MB/s" || ms[1].Value != 3.95 {
+		t.Errorf("bw metric %+v", ms[1])
+	}
+}
+
+func TestJSONRoundTripStable(t *testing.T) {
+	var first bytes.Buffer
+	if err := Encode(&first, sample()); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d results", len(decoded))
+	}
+	r := decoded[0]
+	if r.ID != "figX" || r.Metrics["bw"] != 3.95 || r.Units["bw"] != "MB/s" {
+		t.Errorf("decoded result lost data: %+v", r)
+	}
+	if !bytes.Equal(r.Artifacts["x.pgm"], []byte{1, 2, 3}) {
+		t.Errorf("artifact bytes corrupted: %v", r.Artifacts)
+	}
+	var second bytes.Buffer
+	if err := Encode(&second, decoded...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("encode(decode(doc)) != doc:\n--- first ---\n%s\n--- second ---\n%s", first.String(), second.String())
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	doc := `{"schema": "spybox.report/v999", "results": []}`
+	if _, err := Decode(strings.NewReader(doc)); err == nil || !strings.Contains(err.Error(), "v999") {
+		t.Errorf("wrong-schema decode: %v", err)
+	}
+	if _, err := Decode(strings.NewReader(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestNonFiniteValuesEncode(t *testing.T) {
+	r := New("inf", "degenerate ratios")
+	r.Rowf("ratio %.2fx nan %.1f", F("ratio", math.Inf(1)), F("nan", math.NaN()))
+	r.SetMetric("growth", "x", math.Inf(1))
+	r.Series = []Series{{Name: "deg", X: []float64{1, 2}, Y: []float64{math.NaN(), math.Inf(-1)}}}
+	var first bytes.Buffer
+	if err := Encode(&first, r); err != nil {
+		t.Fatalf("non-finite values broke encoding: %v", err)
+	}
+	decoded, err := Decode(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(decoded[0].Metrics["growth"], 1) {
+		t.Errorf("growth decoded to %v, want +Inf", decoded[0].Metrics["growth"])
+	}
+	y := decoded[0].Series[0].Y
+	if !math.IsNaN(y[0]) || !math.IsInf(y[1], -1) {
+		t.Errorf("series points decoded to %v, want [NaN -Inf]", y)
+	}
+	var second bytes.Buffer
+	if err := Encode(&second, decoded...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("non-finite round trip not stable")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "b", X: []float64{1}, Y: []float64{30}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,a,b\n1,10,30\n2,20,\n"
+	if b.String() != want {
+		t.Errorf("csv %q, want %q", b.String(), want)
+	}
+	var empty strings.Builder
+	if err := CSV(&empty, nil); err != nil || empty.Len() != 0 {
+		t.Errorf("empty CSV wrote %q, err %v", empty.String(), err)
+	}
+}

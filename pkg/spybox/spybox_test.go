@@ -1,0 +1,187 @@
+package spybox
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{Arch: "bogus-gpu"}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if _, err := Open(Config{Parallel: -1}); err == nil {
+		t.Error("negative parallel accepted")
+	}
+	if _, err := Open(Config{Scale: Scale(99)}); err == nil {
+		t.Error("invalid scale accepted")
+	}
+	sess, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Config().Seed; got != DefaultSeed {
+		t.Errorf("zero seed defaulted to %d, want %d", got, DefaultSeed)
+	}
+	if got := sess.Profile().Name; got != "p100-dgx1" {
+		t.Errorf("default profile %q, want the paper's machine", got)
+	}
+}
+
+func TestExperimentsMetadata(t *testing.T) {
+	infos := Experiments()
+	if len(infos) != 19 {
+		t.Fatalf("%d experiments, want 19", len(infos))
+	}
+	for _, e := range infos {
+		if e.ID == "" || e.Title == "" || e.Trials == "" || len(e.HeadlineMetrics) == 0 {
+			t.Errorf("incomplete metadata: %+v", e)
+		}
+	}
+	fig9, ok := LookupExperiment("fig9")
+	if !ok || !strings.Contains(fig9.Trials, "per") {
+		t.Errorf("fig9 metadata: %+v (ok=%v)", fig9, ok)
+	}
+	if _, ok := LookupExperiment("nope"); ok {
+		t.Error("bogus ID found")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	sess, err := Open(Config{Scale: Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background(), "nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown ID: %v", err)
+	}
+}
+
+// TestRunWithEvents runs a real (fast, single-shot) experiment and
+// checks both the structured result and the event sequence.
+func TestRunWithEvents(t *testing.T) {
+	t.Parallel()
+	var mu sync.Mutex
+	var events []Event
+	sess, err := Open(Config{Scale: Small, Parallel: 1, Events: func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sess.Run(context.Background(), "fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != "fig4" {
+		t.Fatalf("results: %+v", results)
+	}
+	if results[0].Metrics["remote_boundary"] <= 0 {
+		t.Error("fig4 metrics missing")
+	}
+	if len(results[0].Records) == 0 {
+		t.Error("fig4 records missing")
+	}
+	want := []EventKind{ExperimentStart, TrialStart, TrialDone, ExperimentDone}
+	if len(events) != len(want) {
+		t.Fatalf("saw %d events (%+v), want %d", len(events), events, len(want))
+	}
+	for i, ev := range events {
+		if ev.Kind != want[i] {
+			t.Errorf("event %d is %v, want %v", i, ev.Kind, want[i])
+		}
+		if ev.Experiment != "fig4" || ev.Err != nil {
+			t.Errorf("event %d: %+v", i, ev)
+		}
+	}
+	if events[1].Trial != 0 || events[1].Trials != 1 {
+		t.Errorf("trial event counts: %+v", events[1])
+	}
+}
+
+// TestRunCancelledBeforeStart: a context cancelled up front yields an
+// InterruptedError with nothing completed, without running anything.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	sess, err := Open(Config{Scale: Small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := sess.Run(ctx, "fig4")
+	if len(results) != 0 {
+		t.Errorf("cancelled run returned %d results", len(results))
+	}
+	var ie *InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v, want *InterruptedError", err)
+	}
+	if ie.Completed != 0 || ie.Total != 1 {
+		t.Errorf("interrupted counts: %+v", ie)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) is false for %v", err)
+	}
+}
+
+// TestRunCancelledMidExperiment cancels from the first trial's Done
+// event of a trial-decomposed experiment: the runner must stop at the
+// next trial boundary and surface an InterruptedError.
+func TestRunCancelledMidExperiment(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var trialsDone int
+	sess, err := Open(Config{Scale: Small, Parallel: 1, Events: func(ev Event) {
+		if ev.Kind == TrialDone {
+			trialsDone++
+			cancel()
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sess.Run(ctx, "fig9")
+	if len(results) != 0 {
+		t.Errorf("interrupted run returned %d completed results", len(results))
+	}
+	var ie *InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v, want *InterruptedError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause of %v is not context.Canceled", err)
+	}
+	if trialsDone != 1 {
+		t.Errorf("%d trials ran after cancellation at the first, want 1", trialsDone)
+	}
+}
+
+// TestSessionMachine drives the machine-scripting surface: the session
+// machine carries the session's profile.
+func TestSessionMachine(t *testing.T) {
+	sess, err := Open(Config{Scale: Small, Arch: "v100-dgx2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sess.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGPUs() != 16 || m.Profile().Name != "v100-dgx2" {
+		t.Errorf("machine on %q with %d GPUs, want v100-dgx2 with 16", m.Profile().Name, m.NumGPUs())
+	}
+}
+
+func TestScaleReExports(t *testing.T) {
+	if got, err := ParseScale("paper"); err != nil || got != Paper {
+		t.Errorf("ParseScale(paper) = %v, %v", got, err)
+	}
+	if len(Scales()) != 3 || len(ScaleNames()) != 3 {
+		t.Errorf("scales: %v / %v", Scales(), ScaleNames())
+	}
+}
