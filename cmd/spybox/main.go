@@ -8,13 +8,25 @@
 //	spybox list [-json]
 //	spybox run <id>[,<id>...]|all [-seed N] [-scale SCALE] [-arch PROFILE]
 //	           [-parallel N] [-format text|json] [-out DIR] [-progress]
+//	spybox serve [-addr HOST:PORT] [-store FILE] [-workers N] [-queue N]
+//	spybox submit <id>[,<id>...]|all [-addr] [-seed N] [-scale SCALE] [-arch P]
+//	           [-parallel N] [-wait [-format text|json] [-progress]]
+//	spybox status <job> [-addr] [-json]
+//	spybox wait <job> [-addr] [-format text|json] [-progress]
 //
-// With -format text (the default) each experiment prints its report to
-// stdout with its wall time; -format json emits one schema-versioned
-// JSON document for the whole run instead. A SIGINT cancels the run at
-// the next trial boundary: completed experiments are kept (and still
-// encoded in JSON mode) and the exit status is non-zero. See README.md
-// in this directory for the full flag reference.
+// run executes experiments in this process. With -format text (the
+// default) each experiment prints its report to stdout with its wall
+// time; -format json emits one schema-versioned JSON document for the
+// whole run instead. A SIGINT cancels the run at the next trial
+// boundary: completed experiments are kept (and still encoded in JSON
+// mode) and the exit status is non-zero.
+//
+// serve boots the job service (pkg/spybox/service) over HTTP; submit,
+// status, and wait are pure HTTP clients of it — duplicate
+// submissions are answered from the server's result cache, and a
+// job's report/v1 output is byte-identical to `spybox run` with the
+// same seed, scale, and arch. See README.md in this directory for the
+// full subcommand and flag reference.
 package main
 
 import (
@@ -50,6 +62,22 @@ func main() {
 		if err := runCmd(os.Args[2:]); err != nil {
 			fail(err)
 		}
+	case "serve":
+		if err := serveCmd(os.Args[2:]); err != nil {
+			fail(err)
+		}
+	case "submit":
+		if err := submitCmd(os.Args[2:]); err != nil {
+			fail(err)
+		}
+	case "status":
+		if err := statusCmd(os.Args[2:]); err != nil {
+			fail(err)
+		}
+	case "wait":
+		if err := waitCmd(os.Args[2:]); err != nil {
+			fail(err)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -66,7 +94,21 @@ func fail(err error) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   spybox list [-json]
-  spybox run <id>[,<id>...]|all [-seed N] [-scale `+strings.Join(spybox.ScaleNames(), "|")+`] [-arch PROFILE] [-parallel N] [-format text|json] [-out DIR] [-progress]`)
+  spybox run <id>[,<id>...]|all [-seed N] [-scale `+strings.Join(spybox.ScaleNames(), "|")+`] [-arch PROFILE] [-parallel N] [-format text|json] [-out DIR] [-progress]
+  spybox serve [-addr HOST:PORT] [-store FILE] [-workers N] [-queue N] [-drain DUR]
+  spybox submit <id>[,<id>...]|all [-addr HOST:PORT] [-seed N] [-scale SCALE] [-arch PROFILE] [-parallel N] [-wait [-format text|json] [-progress]]
+  spybox status <job> [-addr HOST:PORT] [-json]
+  spybox wait <job> [-addr HOST:PORT] [-format text|json] [-progress]`)
+}
+
+// printJSON writes one indented JSON value to stdout.
+func printJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
 }
 
 func listCmd(args []string) error {
@@ -92,51 +134,60 @@ func listCmd(args []string) error {
 
 // selectIDs resolves a comma-separated ID list (or "all") to
 // experiment IDs, validated and deduplicated in the order given.
+// Validation happens entirely up front: every unknown ID is reported
+// in one error alongside the valid names, before any trial starts.
 func selectIDs(ids string) ([]string, error) {
 	if ids == "all" {
-		var all []string
-		for _, e := range spybox.Experiments() {
-			all = append(all, e.ID)
-		}
-		return all, nil
+		return spybox.ExpandIDs()
 	}
 	var todo []string
-	seen := map[string]bool{}
 	for _, id := range strings.Split(ids, ",") {
-		id = strings.TrimSpace(id)
-		if id == "" || seen[id] {
-			continue
+		if id = strings.TrimSpace(id); id != "" {
+			todo = append(todo, id)
 		}
-		seen[id] = true
-		if _, ok := spybox.LookupExperiment(id); !ok {
-			return nil, fmt.Errorf("unknown experiment %q (try 'spybox list')", id)
-		}
-		todo = append(todo, id)
 	}
 	if len(todo) == 0 {
 		return nil, fmt.Errorf("no experiment IDs in %q", ids)
 	}
-	return todo, nil
+	return spybox.ExpandIDs(todo...)
 }
 
-// progressEvents prints the session's event stream to stderr.
-func progressEvents(ev spybox.Event) {
+// progressEvents prints the session's event stream to stderr, with
+// the run clock on every line and the observed completion rate on
+// trial finishes (trials complete out of order under -parallel, so
+// the rate counts completions rather than trusting the index; the
+// denominator is time since the experiment started, not since the
+// whole run did, so later experiments' rates stay honest).
+type progressEvents struct {
+	trialsDone int
+	expStart   time.Duration // run clock when the current experiment began
+}
+
+func (p *progressEvents) print(ev spybox.Event) {
+	elapsed := ev.Elapsed.Seconds()
 	switch ev.Kind {
 	case spybox.ExperimentStart:
+		p.trialsDone = 0
+		p.expStart = ev.Elapsed
 		fmt.Fprintf(os.Stderr, "spybox: %s: start — %s\n", ev.Experiment, ev.Title)
 	case spybox.ExperimentDone:
 		if ev.Err != nil {
-			fmt.Fprintf(os.Stderr, "spybox: %s: failed: %v\n", ev.Experiment, ev.Err)
+			fmt.Fprintf(os.Stderr, "spybox: %s: failed after %.1fs: %v\n", ev.Experiment, elapsed, ev.Err)
 		} else {
-			fmt.Fprintf(os.Stderr, "spybox: %s: done\n", ev.Experiment)
+			fmt.Fprintf(os.Stderr, "spybox: %s: done in %.1fs\n", ev.Experiment, elapsed)
 		}
 	case spybox.TrialStart:
-		fmt.Fprintf(os.Stderr, "spybox: %s: trial %d/%d start\n", ev.Experiment, ev.Trial+1, ev.Trials)
+		fmt.Fprintf(os.Stderr, "spybox: %s: trial %d/%d start [%.1fs]\n", ev.Experiment, ev.Trial+1, ev.Trials, elapsed)
 	case spybox.TrialDone:
+		p.trialsDone++
+		rate := ""
+		if expElapsed := (ev.Elapsed - p.expStart).Seconds(); expElapsed > 0 {
+			rate = fmt.Sprintf(", %.1f trials/s", float64(p.trialsDone)/expElapsed)
+		}
 		if ev.Err != nil {
-			fmt.Fprintf(os.Stderr, "spybox: %s: trial %d/%d failed: %v\n", ev.Experiment, ev.Trial+1, ev.Trials, ev.Err)
+			fmt.Fprintf(os.Stderr, "spybox: %s: trial %d/%d failed [%.1fs%s]: %v\n", ev.Experiment, ev.Trial+1, ev.Trials, elapsed, rate, ev.Err)
 		} else {
-			fmt.Fprintf(os.Stderr, "spybox: %s: trial %d/%d done\n", ev.Experiment, ev.Trial+1, ev.Trials)
+			fmt.Fprintf(os.Stderr, "spybox: %s: trial %d/%d done [%.1fs%s]\n", ev.Experiment, ev.Trial+1, ev.Trials, elapsed, rate)
 		}
 	}
 }
@@ -171,7 +222,7 @@ func runCmd(args []string) error {
 	}
 	cfg := spybox.Config{Seed: *seed, Scale: scale, Parallel: *parallel, Arch: *archName}
 	if *progress {
-		cfg.Events = progressEvents
+		cfg.Events = (&progressEvents{}).print
 	}
 	sess, err := spybox.Open(cfg)
 	if err != nil {

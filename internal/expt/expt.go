@@ -81,21 +81,23 @@ func ParseScale(s string) (Scale, error) {
 
 // TrialHooks observe the runner's per-trial lifecycle. Both callbacks
 // may be invoked concurrently from worker goroutines; a nil hook set
-// (or a nil callback) is silently skipped.
+// (or a nil callback) is silently skipped. The job argument is
+// Params.Job, threaded through verbatim so one observer can
+// demultiplex the trial streams of concurrently running jobs.
 type TrialHooks struct {
-	Start func(index, total int)
-	Done  func(index, total int, err error)
+	Start func(job string, index, total int)
+	Done  func(job string, index, total int, err error)
 }
 
-func (h *TrialHooks) start(index, total int) {
+func (h *TrialHooks) start(job string, index, total int) {
 	if h != nil && h.Start != nil {
-		h.Start(index, total)
+		h.Start(job, index, total)
 	}
 }
 
-func (h *TrialHooks) done(index, total int, err error) {
+func (h *TrialHooks) done(job string, index, total int, err error) {
 	if h != nil && h.Done != nil {
-		h.Done(index, total, err)
+		h.Done(job, index, total, err)
 	}
 }
 
@@ -119,6 +121,10 @@ type Params struct {
 	// Hooks, when non-nil, observe per-trial start/finish — the
 	// progress stream pkg/spybox exposes for long runs.
 	Hooks *TrialHooks
+	// Job is an opaque tag (the service layer's job ID) the runner
+	// threads into every Hooks callback, so trial-level progress from
+	// concurrent jobs can be told apart. It never influences results.
+	Job string
 }
 
 // ctx resolves the run's context; nil means never cancelled.

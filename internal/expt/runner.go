@@ -58,7 +58,7 @@ func (p Params) parallelism() int {
 // context wins only when no trial failed; the returned error then
 // wraps the context's error.
 func RunTrials[T any](p Params, n int, run func(t Trial) (T, error)) ([]T, error) {
-	return runPool(p.ctx(), p.Hooks, p.parallelism(), n, func(i int) (T, error) {
+	return runPool(p.ctx(), p.Hooks, p.Job, p.parallelism(), n, func(i int) (T, error) {
 		tp := p
 		tp.Seed = TrialSeed(p.Seed, i)
 		tp.Parallel = 1
@@ -80,11 +80,11 @@ func OneTrial(body func(Params) (*Result, error)) func(Params) (*Result, error) 
 		if err := p.ctx().Err(); err != nil {
 			return nil, fmt.Errorf("run cancelled: %w", err)
 		}
-		hooks := p.Hooks
+		hooks, job := p.Hooks, p.Job
 		p.Hooks = nil
-		hooks.start(0, 1)
+		hooks.start(job, 0, 1)
 		r, err := body(p)
-		hooks.done(0, 1, err)
+		hooks.done(job, 0, 1, err)
 		return r, err
 	}
 }
@@ -93,7 +93,7 @@ func OneTrial(body func(Params) (*Result, error)) func(Params) (*Result, error) 
 // `workers` goroutines claim indices 0..n-1 in order and write results
 // into an index-addressed slice, which is what makes the merge step
 // order-independent of scheduling.
-func runPool[T any](ctx context.Context, hooks *TrialHooks, workers, n int, run func(i int) (T, error)) ([]T, error) {
+func runPool[T any](ctx context.Context, hooks *TrialHooks, job string, workers, n int, run func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers > n {
 		workers = n
@@ -103,9 +103,9 @@ func runPool[T any](ctx context.Context, hooks *TrialHooks, workers, n int, run 
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("run cancelled before trial %d/%d: %w", i, n, err)
 			}
-			hooks.start(i, n)
+			hooks.start(job, i, n)
 			v, err := run(i)
-			hooks.done(i, n, err)
+			hooks.done(job, i, n, err)
 			if err != nil {
 				return nil, fmt.Errorf("trial %d: %w", i, err)
 			}
@@ -156,9 +156,9 @@ func runPool[T any](ctx context.Context, hooks *TrialHooks, workers, n int, run 
 				if int64(i) > lowestErr.Load() {
 					continue
 				}
-				hooks.start(i, n)
+				hooks.start(job, i, n)
 				v, err := run(i)
-				hooks.done(i, n, err)
+				hooks.done(job, i, n, err)
 				if err != nil {
 					mu.Lock()
 					if i < errTrial {

@@ -1,0 +1,147 @@
+// The job-oriented API surface: specs, states, statuses, and the
+// JobService interface that both implementations in pkg/spybox/service
+// satisfy — the in-process engine (service.New) and the HTTP client
+// (service.NewClient). Code written against JobService runs unchanged
+// against a local worker pool or a remote `spybox serve`; the CLI's
+// submit/status/wait subcommands are built purely on the client half,
+// which is what keeps the HTTP API honest.
+
+package spybox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// JobID names one submitted job. IDs are assigned by the service
+// ("job-1", "job-2", ...), are unique per store for its lifetime, and
+// are safe to embed in URLs.
+type JobID string
+
+// JobState is the lifecycle of a job:
+//
+//	queued -> running -> done
+//	                  -> failed     (an experiment errored)
+//	                  -> cancelled  (Cancel or server drain; partial
+//	                                 results are kept)
+//	queued -> cancelled             (never starts)
+type JobState int
+
+const (
+	// JobQueued: accepted and persisted, waiting for a worker.
+	JobQueued JobState = iota
+	// JobRunning: claimed by a worker; progress streams as events.
+	JobRunning
+	// JobDone: every experiment completed; results are available.
+	JobDone
+	// JobFailed: an experiment errored; completed results are kept.
+	JobFailed
+	// JobCancelled: stopped by Cancel or a server drain; results
+	// completed before the interruption are kept.
+	JobCancelled
+)
+
+// jobStateNames is the wire spelling of each state (see MarshalJSON).
+var jobStateNames = [...]string{"queued", "running", "done", "failed", "cancelled"}
+
+// String returns the wire spelling of the state.
+func (s JobState) String() string {
+	if s >= 0 && int(s) < len(jobStateNames) {
+		return jobStateNames[s]
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// Terminal reports whether the state is final: no worker will touch
+// the job again and its results (possibly partial) are persisted.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// MarshalJSON encodes the state by name, so stores and HTTP payloads
+// stay readable and stable if the iota order ever grows.
+func (s JobState) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a state name written by MarshalJSON.
+func (s *JobState) UnmarshalJSON(b []byte) error {
+	for i, name := range jobStateNames {
+		if string(b) == `"`+name+`"` {
+			*s = JobState(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("spybox: unknown job state %s", b)
+}
+
+// JobSpec is one submission: which experiments to run and the
+// session configuration to run them under. A spec is wire-shaped, so
+// Scale travels as its flag spelling ("small", "default", "paper");
+// zero values take the CLI defaults — DefaultSeed, the "default"
+// scale (ParseScale("")), the paper's machine, every core. An empty
+// Experiments list means every registered experiment, in paper order.
+type JobSpec struct {
+	Experiments []string `json:"experiments,omitempty"`
+	Seed        uint64   `json:"seed,omitempty"`
+	Scale       string   `json:"scale,omitempty"`
+	Arch        string   `json:"arch,omitempty"`
+	// Parallel bounds the trial worker pool of this job's session; 0
+	// means every available core. Results are bit-identical at any
+	// value, which is why Parallel is excluded from the result cache
+	// key.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// JobStatus is the observable state of a job. Progress counts whole
+// experiments (trial-level progress streams as events); CacheHits says
+// how many of the completed experiments were answered from the result
+// cache instead of being re-simulated.
+type JobStatus struct {
+	ID        JobID    `json:"id"`
+	Spec      JobSpec  `json:"spec"`
+	State     JobState `json:"state"`
+	Done      int      `json:"done"`  // experiments completed (including cache hits)
+	Total     int      `json:"total"` // experiments requested, after ExpandIDs
+	CacheHits int      `json:"cache_hits,omitempty"`
+	Error     string   `json:"error,omitempty"` // failure or interruption cause, on terminal states
+}
+
+// ErrNoJob is returned (possibly wrapped) by JobService methods given
+// a job ID the store has never seen or has deleted.
+var ErrNoJob = errors.New("spybox: no such job")
+
+// ErrClosed is returned by Submit after the service began draining:
+// the job was not accepted and will not run.
+var ErrClosed = errors.New("spybox: service closed")
+
+// JobService is the job-oriented way to drive the simulator: submit
+// experiment runs as asynchronous jobs, observe them, and collect
+// their structured results. pkg/spybox/service provides both
+// implementations — service.New (in-process store + worker pool +
+// result cache) and service.NewClient (HTTP client of a `spybox
+// serve` process); they are interchangeable by construction.
+type JobService interface {
+	// Submit validates the spec (every experiment ID, the scale, the
+	// architecture profile) and enqueues the job, returning its ID.
+	// Validation happens entirely up front: a bad spec runs nothing.
+	Submit(spec JobSpec) (JobID, error)
+	// Job reports the job's current status, or ErrNoJob.
+	Job(id JobID) (JobStatus, error)
+	// Wait blocks until the job stops progressing and returns its
+	// status: terminal for a finished job, still queued if the
+	// service drained out from under it (the job survives in a
+	// durable store for the next start), or the current snapshot with
+	// the context's error if ctx ends first.
+	Wait(ctx context.Context, id JobID) (JobStatus, error)
+	// Cancel stops the job: queued jobs never start, running jobs stop
+	// at the next trial boundary with their completed results
+	// persisted. Cancelling a terminal job is a no-op.
+	Cancel(id JobID) error
+	// Result returns the job's completed results — the full set for
+	// done jobs, the completed prefix for failed or cancelled ones,
+	// and an error wrapping ErrNoJob for unknown jobs. Calling it on a
+	// non-terminal job is an error; Wait first.
+	Result(id JobID) ([]*Result, error)
+}

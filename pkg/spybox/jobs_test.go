@@ -1,0 +1,33 @@
+package spybox
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJobStateJSONRoundTrip(t *testing.T) {
+	states := []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled}
+	for _, s := range states {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back JobState
+		if err := json.Unmarshal(b, &back); err != nil || back != s {
+			t.Errorf("%v -> %s -> %v (%v)", s, b, back, err)
+		}
+	}
+	var bogus JobState
+	if err := json.Unmarshal([]byte(`"exploded"`), &bogus); err == nil {
+		t.Error("unknown state accepted")
+	}
+	wantTerminal := map[JobState]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobFailed: true, JobCancelled: true,
+	}
+	for s, want := range wantTerminal {
+		if s.Terminal() != want {
+			t.Errorf("%v.Terminal() = %v", s, s.Terminal())
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"testing"
+
+	"spybox/pkg/spybox/report"
+)
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	base := CacheKey(1, "small", "p100-dgx1", "fig4")
+	for name, other := range map[string]string{
+		"seed":       CacheKey(2, "small", "p100-dgx1", "fig4"),
+		"scale":      CacheKey(1, "paper", "p100-dgx1", "fig4"),
+		"arch":       CacheKey(1, "small", "v100-dgx2", "fig4"),
+		"experiment": CacheKey(1, "small", "p100-dgx1", "fig9"),
+	} {
+		if other == base {
+			t.Errorf("key ignores %s", name)
+		}
+	}
+	if CacheKey(1, "small", "p100-dgx1", "fig4") != base {
+		t.Error("key is not stable")
+	}
+}
+
+func TestCacheHitMissCountersAndIsolation(t *testing.T) {
+	c := NewCache()
+	key := CacheKey(1, "small", "p100-dgx1", "fig4")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	r := report.New("fig4", "timing")
+	r.SetMetric("local_boundary", "cycles", 400)
+	if err := c.Put(key, r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || got.Metrics["local_boundary"] != 400 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	// Mutating a returned result must not leak into the cache.
+	got.SetMetric("local_boundary", "cycles", 999)
+	again, _ := c.Get(key)
+	if again.Metrics["local_boundary"] != 400 {
+		t.Error("cache entry mutated through a returned result")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheEvictsOldestAtLimit(t *testing.T) {
+	c := NewCacheSize(2)
+	put := func(seed uint64) string {
+		key := CacheKey(seed, "small", "p100-dgx1", "fig4")
+		if err := c.Put(key, report.New("fig4", "t")); err != nil {
+			t.Fatal(err)
+		}
+		return key
+	}
+	k1, k2, k3 := put(1), put(2), put(3)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after overflow, want 2", c.Len())
+	}
+	if _, ok := c.Get(k1); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for _, k := range []string{k2, k3} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("recent entry %s evicted", k[:8])
+		}
+	}
+	// Re-putting an existing key is an update, not growth.
+	put(3)
+	if c.Len() != 2 {
+		t.Errorf("Len = %d after re-put", c.Len())
+	}
+}

@@ -1,0 +1,672 @@
+// Package service is the job-oriented layer above pkg/spybox: a
+// durable job store, a bounded worker pool multiplexing jobs onto
+// per-config pooled Sessions, a content-addressed result cache, and
+// an HTTP server/client pair speaking the /v1 jobs API.
+//
+// Both halves implement spybox.JobService:
+//
+//	svc, _ := service.New(service.Options{})        // in-process
+//	cli := service.NewClient("http://host:8080")    // over HTTP
+//
+// Submit validates a JobSpec entirely up front, persists it, and a
+// worker runs its experiments one at a time — answering each from the
+// result cache when an identical (seed, scale, arch, experiment) has
+// already been simulated under this schema version, which determinism
+// makes byte-identical to a fresh run. Cancellation stops a running
+// job at the next trial boundary and persists the results completed
+// so far; Close drains the pool the same way, and a FileStore brings
+// still-queued jobs back after a restart.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"spybox/pkg/spybox"
+	"spybox/pkg/spybox/report"
+)
+
+// Options parameterize New.
+type Options struct {
+	// Store persists jobs; nil means a fresh in-memory store. Every
+	// non-terminal record found in the store at startup is re-enqueued
+	// (a record still marked running belonged to a process that died
+	// mid-job; determinism makes the re-run identical).
+	Store Store
+	// Cache is the result cache; nil means a fresh empty one.
+	Cache *Cache
+	// Workers bounds how many jobs run concurrently; <= 0 means 2.
+	// Each job's trial-level parallelism is its own Spec.Parallel.
+	Workers int
+	// QueueDepth bounds how many jobs may wait; <= 0 means 256.
+	// Submit fails when the queue is full rather than blocking.
+	QueueDepth int
+}
+
+// jobRT is the runtime (never persisted) state of a live job.
+type jobRT struct {
+	cancel context.CancelFunc             // non-nil while running
+	done   chan struct{}                  // closed on terminal state
+	subs   map[chan spybox.Event]struct{} // event subscribers (Watch)
+}
+
+// Service is the in-process JobService implementation.
+type Service struct {
+	store   Store
+	cache   *Cache
+	workers int
+
+	mu     sync.Mutex
+	rt     map[spybox.JobID]*jobRT
+	seq    int
+	closed bool
+
+	queue chan spybox.JobID
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	smu      sync.Mutex
+	sessions map[sessionKey]*spybox.Session
+}
+
+var _ spybox.JobService = (*Service)(nil)
+
+// New builds a service over the given store and starts its worker
+// pool. Non-terminal jobs already in the store are re-enqueued in
+// submission order.
+func New(opts Options) (*Service, error) {
+	if opts.Store == nil {
+		opts.Store = NewMemStore()
+	}
+	if opts.Cache == nil {
+		opts.Cache = NewCache()
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	s := &Service{
+		store:    opts.Store,
+		cache:    opts.Cache,
+		workers:  opts.Workers,
+		rt:       map[spybox.JobID]*jobRT{},
+		queue:    make(chan spybox.JobID, opts.QueueDepth),
+		stop:     make(chan struct{}),
+		sessions: map[sessionKey]*spybox.Session{},
+	}
+	recs, err := s.store.List()
+	if err != nil {
+		return nil, fmt.Errorf("service: loading job store: %w", err)
+	}
+	for _, rec := range recs {
+		// Track the highest previously assigned sequence number so
+		// restarted services never reuse an ID.
+		if n, ok := strings.CutPrefix(string(rec.Status.ID), "job-"); ok {
+			if v, err := strconv.Atoi(n); err == nil && v > s.seq {
+				s.seq = v
+			}
+		}
+		if rec.Status.State.Terminal() {
+			continue
+		}
+		if rec.Status.State == spybox.JobRunning {
+			rec.Status.State = spybox.JobQueued
+			if err := s.store.Put(rec); err != nil {
+				return nil, err
+			}
+		}
+		s.rt[rec.Status.ID] = newJobRT()
+		select {
+		case s.queue <- rec.Status.ID:
+		default:
+			return nil, fmt.Errorf("service: job store holds more queued jobs than QueueDepth %d", opts.QueueDepth)
+		}
+	}
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func newJobRT() *jobRT {
+	return &jobRT{done: make(chan struct{}), subs: map[chan spybox.Event]struct{}{}}
+}
+
+// sessionKey identifies one pooled Session by the normalized Config
+// fields that matter to it.
+type sessionKey struct {
+	seed     uint64
+	scale    string
+	arch     string
+	parallel int
+}
+
+// normalize validates a spec up front and canonicalizes it: every
+// experiment ID resolved (one error lists them all, with the valid
+// names), the scale parsed and respelled, the seed defaulted, and the
+// arch replaced by its resolved profile name so equivalent specs share
+// cache entries and pooled sessions. Nothing runs on a bad spec.
+func normalize(spec spybox.JobSpec) (spybox.JobSpec, error) {
+	ids, err := spybox.ExpandIDs(spec.Experiments...)
+	if err != nil {
+		return spybox.JobSpec{}, err
+	}
+	spec.Experiments = ids
+	scale, err := spybox.ParseScale(spec.Scale)
+	if err != nil {
+		return spybox.JobSpec{}, err
+	}
+	spec.Scale = scale.String()
+	if spec.Seed == 0 {
+		spec.Seed = spybox.DefaultSeed
+	}
+	sess, err := spybox.Open(spybox.Config{
+		Seed: spec.Seed, Scale: scale, Arch: spec.Arch, Parallel: spec.Parallel,
+	})
+	if err != nil {
+		return spybox.JobSpec{}, err
+	}
+	spec.Arch = sess.Profile().Name
+	return spec, nil
+}
+
+// session returns the pooled Session for a normalized spec, opening
+// it on first use with the service's event dispatcher. Sessions are
+// safe for concurrent Run calls, so one session serves every job that
+// shares its config.
+func (s *Service) session(spec spybox.JobSpec) (*spybox.Session, error) {
+	k := sessionKey{seed: spec.Seed, scale: spec.Scale, arch: spec.Arch, parallel: spec.Parallel}
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if sess := s.sessions[k]; sess != nil {
+		return sess, nil
+	}
+	scale, err := spybox.ParseScale(spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := spybox.Open(spybox.Config{
+		Seed: spec.Seed, Scale: scale, Arch: spec.Arch, Parallel: spec.Parallel,
+		Events: s.publish,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sessions[k] = sess
+	return sess, nil
+}
+
+// Submit implements spybox.JobService: validate, persist as queued,
+// enqueue.
+func (s *Service) Submit(spec spybox.JobSpec) (spybox.JobID, error) {
+	norm, err := normalize(spec)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", spybox.ErrClosed
+	}
+	s.seq++
+	id := spybox.JobID(fmt.Sprintf("job-%d", s.seq))
+	rec := Record{Status: spybox.JobStatus{
+		ID: id, Spec: norm, State: spybox.JobQueued, Total: len(norm.Experiments),
+	}}
+	if err := s.store.Put(rec); err != nil {
+		s.seq--
+		return "", fmt.Errorf("service: persisting job: %w", err)
+	}
+	// Persist, enqueue, and publish the runtime state in one critical
+	// section: Close cannot slip between the closed check and the
+	// enqueue (which would accept a job no worker will ever run), and
+	// no observer can find the job before its runtime state exists.
+	select {
+	case s.queue <- id:
+		s.rt[id] = newJobRT()
+		return id, nil
+	default:
+		// Full queue: withdraw the record so the ID never resurfaces
+		// as a phantom queued job after a restart. The sequence number
+		// is reclaimed only if the withdrawal stuck — an ID must never
+		// be reused over a record that refused to die.
+		if err := s.store.Delete(id); err == nil {
+			s.seq--
+		}
+		return "", fmt.Errorf("service: queue full (%d jobs pending)", cap(s.queue))
+	}
+}
+
+// Job implements spybox.JobService.
+func (s *Service) Job(id spybox.JobID) (spybox.JobStatus, error) {
+	rec, ok, err := s.store.Get(id)
+	if err != nil {
+		return spybox.JobStatus{}, err
+	}
+	if !ok {
+		return spybox.JobStatus{}, fmt.Errorf("%w: %s", spybox.ErrNoJob, id)
+	}
+	return rec.Status, nil
+}
+
+// Jobs returns every job's status, in submission order.
+func (s *Service) Jobs() ([]spybox.JobStatus, error) {
+	recs, err := s.store.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]spybox.JobStatus, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.Status
+	}
+	return out, nil
+}
+
+// Wait implements spybox.JobService.
+func (s *Service) Wait(ctx context.Context, id spybox.JobID) (spybox.JobStatus, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	status, err := s.Job(id)
+	if err != nil || status.State.Terminal() {
+		return status, err
+	}
+	s.mu.Lock()
+	rt := s.rt[id]
+	s.mu.Unlock()
+	if rt != nil {
+		select {
+		case <-rt.done:
+		case <-ctx.Done():
+			return status, ctx.Err()
+		}
+	}
+	return s.Job(id)
+}
+
+// Cancel implements spybox.JobService: queued jobs go terminal
+// immediately and never start; running jobs have their context
+// cancelled, so the worker stops at the next trial boundary and
+// persists the results completed so far. Terminal jobs are left
+// untouched.
+func (s *Service) Cancel(id spybox.JobID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cancelLocked(id)
+}
+
+func (s *Service) cancelLocked(id spybox.JobID) error {
+	rec, ok, err := s.store.Get(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s", spybox.ErrNoJob, id)
+	}
+	rt := s.rt[id]
+	switch rec.Status.State {
+	case spybox.JobQueued:
+		rec.Status.State = spybox.JobCancelled
+		rec.Status.Error = "cancelled before start"
+		if err := s.store.Put(rec); err != nil {
+			return err
+		}
+		s.finishLocked(id, rt)
+	case spybox.JobRunning:
+		if rt != nil && rt.cancel != nil {
+			rt.cancel()
+		}
+	}
+	return nil
+}
+
+// Delete cancels the job if it is still live and removes its record.
+func (s *Service) Delete(id spybox.JobID) error {
+	s.mu.Lock()
+	if err := s.cancelLocked(id); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	rt := s.rt[id]
+	s.mu.Unlock()
+	if rt != nil {
+		// A running job must finish persisting its partial results
+		// before the record can be removed out from under it.
+		<-rt.done
+	}
+	s.mu.Lock()
+	delete(s.rt, id)
+	s.mu.Unlock()
+	return s.store.Delete(id)
+}
+
+// Result implements spybox.JobService.
+func (s *Service) Result(id spybox.JobID) ([]*report.Result, error) {
+	rec, ok, err := s.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", spybox.ErrNoJob, id)
+	}
+	if !rec.Status.State.Terminal() {
+		return nil, fmt.Errorf("service: job %s is %s; results come after it finishes (Wait first)",
+			id, rec.Status.State)
+	}
+	return rec.Results, nil
+}
+
+// Watch subscribes to a job's progress events. The channel closes
+// when the job reaches a terminal state (immediately, for already
+// terminal jobs); a slow receiver drops events rather than stalling
+// the simulation. The returned func unsubscribes.
+func (s *Service) Watch(id spybox.JobID) (<-chan spybox.Event, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok, err := s.store.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", spybox.ErrNoJob, id)
+	}
+	ch := make(chan spybox.Event, 64)
+	rt := s.rt[id]
+	if rt == nil { // terminal (or store-loaded terminal): closed stream
+		close(ch)
+		return ch, func() {}, nil
+	}
+	select {
+	case <-rt.done:
+		close(ch)
+		return ch, func() {}, nil
+	default:
+	}
+	rt.subs[ch] = struct{}{}
+	unsub := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, live := rt.subs[ch]; live {
+			delete(rt.subs, ch)
+			close(ch)
+		}
+	}
+	return ch, unsub, nil
+}
+
+// publish fans a session event out to the job's subscribers. It is
+// the Events callback of every pooled session, so ev.Job identifies
+// the run.
+func (s *Service) publish(ev spybox.Event) {
+	if ev.Job == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt := s.rt[ev.Job]
+	if rt == nil {
+		return
+	}
+	for ch := range rt.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop, never stall the simulation
+		}
+	}
+}
+
+// finishLocked closes out a job's runtime state: done is closed,
+// every subscriber stream ends, and the rt entry is dropped so a
+// long-lived server doesn't accumulate one per job ever run (Wait,
+// Watch, publish, and Cancel all treat a missing rt as "no longer
+// live"). Callers hold s.mu and have already persisted the terminal
+// record.
+func (s *Service) finishLocked(id spybox.JobID, rt *jobRT) {
+	if rt == nil {
+		return
+	}
+	select {
+	case <-rt.done:
+		return // already finished
+	default:
+	}
+	close(rt.done)
+	rt.cancel = nil
+	for ch := range rt.subs {
+		delete(rt.subs, ch)
+		close(ch)
+	}
+	delete(s.rt, id)
+}
+
+// worker drains the queue until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		select {
+		case <-s.stop:
+			return
+		case id := <-s.queue:
+			s.runJob(id)
+		}
+	}
+}
+
+// runJob executes one queued job: each experiment answered from the
+// cache when possible, simulated on the pooled session otherwise,
+// with the record updated after every experiment so observers (and
+// the store) always hold the latest progress.
+func (s *Service) runJob(id spybox.JobID) {
+	s.mu.Lock()
+	rec, ok, err := s.store.Get(id)
+	if err != nil || !ok || rec.Status.State != spybox.JobQueued {
+		s.mu.Unlock()
+		return // cancelled or deleted while queued
+	}
+	select {
+	case <-s.stop:
+		// Draining: leave the job queued so a FileStore-backed
+		// service picks it up after restart.
+		s.mu.Unlock()
+		return
+	default:
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rt := s.rt[id]
+	if rt == nil { // store-loaded job raced a Delete; nothing to run
+		s.mu.Unlock()
+		cancel()
+		return
+	}
+	rt.cancel = cancel
+	rec.Status.State = spybox.JobRunning
+	putErr := s.store.Put(rec)
+	s.mu.Unlock()
+	defer cancel()
+
+	spec := rec.Status.Spec
+	var results []*report.Result
+	cacheHits := 0
+	runErr := putErr
+	if runErr == nil {
+		var sess *spybox.Session
+		sess, runErr = s.session(spec)
+		for _, exptID := range spec.Experiments {
+			if runErr != nil {
+				break
+			}
+			if ctx.Err() != nil {
+				runErr = &spybox.InterruptedError{
+					Completed: len(results), Total: len(spec.Experiments), Cause: ctx.Err(),
+				}
+				break
+			}
+			key := CacheKey(spec.Seed, spec.Scale, spec.Arch, exptID)
+			if r, ok := s.cache.Get(key); ok {
+				cacheHits++
+				results = append(results, r)
+				s.publishCached(id, exptID)
+			} else {
+				var rs []*report.Result
+				rs, runErr = sess.RunJob(ctx, id, exptID)
+				results = append(results, rs...)
+				if runErr != nil {
+					break
+				}
+				// An uncacheable result is still served fresh; only
+				// future duplicates pay for the failed Put.
+				_ = s.cache.Put(key, rs[0])
+			}
+			// Progress checkpoint. No s.mu: while the job is running,
+			// this goroutine is the record's only writer (queued-state
+			// cancellation can't touch it any more, Delete blocks on
+			// rt.done, and stores serialize internally). Results stay
+			// in memory until the terminal write — a restart re-runs
+			// non-terminal jobs from scratch anyway, so persisting
+			// partials per experiment would only bloat every FileStore
+			// rewrite with all completed payloads.
+			if cur, ok, _ := s.store.Get(id); ok {
+				cur.Status.Done = len(results)
+				cur.Status.CacheHits = cacheHits
+				_ = s.store.Put(cur)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok, _ = s.store.Get(id)
+	if !ok { // deleted mid-run; runtime state still needs closing out
+		s.finishLocked(id, rt)
+		return
+	}
+	rec.Status.Done = len(results)
+	rec.Status.CacheHits = cacheHits
+	rec.Results = results
+	var interrupted *spybox.InterruptedError
+	switch {
+	case runErr == nil:
+		rec.Status.State = spybox.JobDone
+	case errors.As(runErr, &interrupted):
+		rec.Status.State = spybox.JobCancelled
+		rec.Status.Error = runErr.Error()
+	default:
+		rec.Status.State = spybox.JobFailed
+		rec.Status.Error = runErr.Error()
+	}
+	_ = s.store.Put(rec)
+	s.finishLocked(id, rt)
+}
+
+// publishCached emits the experiment start/done pair for a cache hit,
+// so SSE consumers see the same shape of stream whether an experiment
+// was simulated or served from cache.
+func (s *Service) publishCached(id spybox.JobID, exptID string) {
+	title := ""
+	if info, ok := spybox.LookupExperiment(exptID); ok {
+		title = info.Title
+	}
+	s.publish(spybox.Event{Kind: spybox.ExperimentStart, Job: id, Experiment: exptID, Title: title, Trial: -1})
+	s.publish(spybox.Event{Kind: spybox.ExperimentDone, Job: id, Experiment: exptID, Title: title, Trial: -1})
+}
+
+// Close drains the service: Submit starts refusing, running jobs are
+// cancelled (stopping at their next trial boundary, persisting the
+// results completed so far), queued jobs stay queued in the store for
+// the next start. Close returns when every worker has finished
+// persisting, or with the context's error if that takes longer.
+func (s *Service) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.stop)
+		for id, rt := range s.rt {
+			if rt.cancel != nil {
+				rt.cancel() // running: the worker persists partials, then finishes the rt
+				continue
+			}
+			// Queued: the job stays queued in the store for the next
+			// start, but its runtime is over — release Wait callers
+			// and end Watch streams now, or they would hang on a job
+			// no worker will ever claim. (A worker that already
+			// popped the ID but hasn't marked it running is blocked
+			// on s.mu right now and will observe stop and walk away.)
+			if rec, ok, _ := s.store.Get(id); ok && rec.Status.State == spybox.JobQueued {
+				s.finishLocked(id, rt)
+			}
+		}
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// Stats is an operational snapshot of the service.
+type Stats struct {
+	Jobs        int   `json:"jobs"` // records in the store
+	Queued      int   `json:"queued"`
+	Running     int   `json:"running"`
+	Done        int   `json:"done"`
+	Failed      int   `json:"failed"`
+	Cancelled   int   `json:"cancelled"`
+	Workers     int   `json:"workers"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheSize   int   `json:"cache_entries"`
+}
+
+// Stats counts jobs by state and reports the cache counters.
+func (s *Service) Stats() (Stats, error) {
+	recs, err := s.store.List()
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Jobs: len(recs), Workers: s.workers, CacheSize: s.cache.Len()}
+	st.CacheHits, st.CacheMisses = s.cache.Stats()
+	for _, rec := range recs {
+		switch rec.Status.State {
+		case spybox.JobQueued:
+			st.Queued++
+		case spybox.JobRunning:
+			st.Running++
+		case spybox.JobDone:
+			st.Done++
+		case spybox.JobFailed:
+			st.Failed++
+		case spybox.JobCancelled:
+			st.Cancelled++
+		}
+	}
+	return st, nil
+}
+
+// Experiments exposes the registry metadata (spybox.Experiments) so
+// the HTTP layer and clients discover experiments through the same
+// index, sorted stably by registry (paper) order.
+func (s *Service) Experiments() []spybox.ExperimentInfo {
+	return spybox.Experiments()
+}

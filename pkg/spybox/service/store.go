@@ -1,0 +1,228 @@
+// Job persistence: the Store interface and its two implementations.
+// MemStore is the default for tests and throwaway servers; FileStore
+// writes one JSON document per mutation (atomically, via rename) so a
+// served queue survives a process restart — the service re-enqueues
+// every non-terminal record it loads.
+
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"spybox/pkg/spybox"
+	"spybox/pkg/spybox/report"
+)
+
+// Record is everything a store persists about one job: its status and
+// the results completed so far (the full set once done, a prefix for
+// failed or cancelled jobs).
+type Record struct {
+	Status  spybox.JobStatus `json:"status"`
+	Results []*report.Result `json:"results,omitempty"`
+}
+
+// Store persists job records. Implementations must be safe for
+// concurrent use; List returns records in submission order, which is
+// also the order the service re-enqueues surviving jobs in after a
+// restart.
+type Store interface {
+	// Put inserts or replaces the record keyed by Status.ID.
+	Put(rec Record) error
+	// Get returns the record for id, reporting whether it exists.
+	Get(id spybox.JobID) (Record, bool, error)
+	// List returns every record, in submission order.
+	List() ([]Record, error)
+	// Delete removes the record for id; deleting an absent id is a
+	// no-op.
+	Delete(id spybox.JobID) error
+}
+
+// MemStore is the in-memory Store: a map plus the submission order.
+type MemStore struct {
+	mu    sync.Mutex
+	byID  map[spybox.JobID]Record
+	order []spybox.JobID
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{byID: map[spybox.JobID]Record{}}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[rec.Status.ID]; !ok {
+		s.order = append(s.order, rec.Status.ID)
+	}
+	s.byID[rec.Status.ID] = rec
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(id spybox.JobID) (Record, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byID[id]
+	return rec, ok, nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.byID[id])
+	}
+	return out, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id spybox.JobID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[id]; !ok {
+		return nil
+	}
+	delete(s.byID, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// StoreSchema tags the FileStore document layout, mirroring the
+// report schema policy: a different tag means a different layout, and
+// NewFileStore refuses it instead of misreading it.
+const StoreSchema = "spybox.jobs/v1"
+
+// storeDoc is the on-disk shape of a FileStore.
+type storeDoc struct {
+	SchemaVersion string   `json:"schema"`
+	Jobs          []Record `json:"jobs"`
+}
+
+// FileStore is the JSON-file Store: every mutation rewrites the file
+// through a temp-file rename, so the document on disk is always a
+// complete, parseable snapshot and queued jobs survive a restart.
+type FileStore struct {
+	mu   sync.Mutex
+	path string
+	mem  *MemStore // authoritative in-memory view, flushed on mutation
+}
+
+// NewFileStore opens (or creates) the store at path, loading any
+// existing document.
+func NewFileStore(path string) (*FileStore, error) {
+	s := &FileStore{path: path, mem: NewMemStore()}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: reading job store: %w", err)
+	}
+	var doc storeDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("service: parsing job store %s: %w", path, err)
+	}
+	if doc.SchemaVersion != StoreSchema {
+		return nil, fmt.Errorf("service: job store %s has schema %q (this build reads %q)",
+			path, doc.SchemaVersion, StoreSchema)
+	}
+	for _, rec := range doc.Jobs {
+		if err := s.mem.Put(rec); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// flush writes the current snapshot; callers hold s.mu.
+func (s *FileStore) flush() error {
+	jobs, err := s.mem.List()
+	if err != nil {
+		return err
+	}
+	if jobs == nil {
+		jobs = []Record{} // "jobs" must be an array, never null
+	}
+	b, err := json.MarshalIndent(storeDoc{SchemaVersion: StoreSchema, Jobs: jobs}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encoding job store: %w", err)
+	}
+	b = append(b, '\n')
+	if dir := filepath.Dir(s.path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path)
+}
+
+// Put implements Store. A failed flush is rolled back in memory, so
+// the in-memory view never claims state the caller was told did not
+// persist (a phantom queued job would sit unrunnable forever).
+func (s *FileStore) Put(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, existed, _ := s.mem.Get(rec.Status.ID)
+	if err := s.mem.Put(rec); err != nil {
+		return err
+	}
+	if err := s.flush(); err != nil {
+		if existed {
+			_ = s.mem.Put(prev)
+		} else {
+			_ = s.mem.Delete(rec.Status.ID)
+		}
+		return err
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(id spybox.JobID) (Record, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Get(id)
+}
+
+// List implements Store.
+func (s *FileStore) List() ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.List()
+}
+
+// Delete implements Store, with the same rollback-on-failed-flush
+// contract as Put (the restored record rejoins the order at the end —
+// content consistency is what matters on a dying disk).
+func (s *FileStore) Delete(id spybox.JobID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, existed, _ := s.mem.Get(id)
+	if err := s.mem.Delete(id); err != nil {
+		return err
+	}
+	if err := s.flush(); err != nil {
+		if existed {
+			_ = s.mem.Put(prev)
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spybox/pkg/spybox"
+	"spybox/pkg/spybox/report"
+)
+
+func rec(id string, state spybox.JobState) Record {
+	return Record{Status: spybox.JobStatus{
+		ID: spybox.JobID(id), State: state,
+		Spec:  spybox.JobSpec{Experiments: []string{"fig4"}, Seed: 1, Scale: "small", Arch: "p100-dgx1"},
+		Total: 1,
+	}}
+}
+
+// storeContract drives any Store through put/replace/list/delete.
+func storeContract(t *testing.T, s Store) {
+	t.Helper()
+	for _, id := range []string{"job-1", "job-2", "job-3"} {
+		if err := s.Put(rec(id, spybox.JobQueued)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok, err := s.Get("job-2")
+	if err != nil || !ok || got.Status.ID != "job-2" {
+		t.Fatalf("Get(job-2) = %+v, %v, %v", got, ok, err)
+	}
+	if _, ok, _ := s.Get("job-9"); ok {
+		t.Error("Get found an absent job")
+	}
+	// Replacement keeps the submission order.
+	r := rec("job-1", spybox.JobDone)
+	r.Results = []*report.Result{report.New("fig4", "t")}
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, r := range list {
+		ids = append(ids, string(r.Status.ID))
+	}
+	if strings.Join(ids, ",") != "job-1,job-2,job-3" {
+		t.Fatalf("List order %v, want submission order", ids)
+	}
+	if list[0].Status.State != spybox.JobDone || len(list[0].Results) != 1 {
+		t.Errorf("replaced record not returned: %+v", list[0])
+	}
+	if err := s.Delete("job-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("job-2"); err != nil { // absent delete is a no-op
+		t.Fatal(err)
+	}
+	if list, _ = s.List(); len(list) != 2 {
+		t.Fatalf("after delete, %d records", len(list))
+	}
+}
+
+func TestMemStore(t *testing.T) { storeContract(t, NewMemStore()) }
+
+func TestFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	s, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeContract(t, s)
+
+	// Reopen: the document round-trips, including submission order.
+	s2, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := s2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].Status.ID != "job-1" || list[1].Status.ID != "job-3" {
+		t.Fatalf("reopened store holds %+v", list)
+	}
+	if list[0].Status.State != spybox.JobDone || len(list[0].Results) != 1 || list[0].Results[0].ID != "fig4" {
+		t.Errorf("reopened record lost data: %+v", list[0])
+	}
+
+	// A foreign schema is refused, not misread.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"spybox.jobs/v999","jobs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileStore(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("foreign schema opened: %v", err)
+	}
+}

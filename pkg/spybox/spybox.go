@@ -26,7 +26,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"spybox/internal/expt"
 	"spybox/pkg/spybox/report"
@@ -98,11 +101,13 @@ func (k EventKind) String() string {
 // Event is one progress notification of a running session.
 type Event struct {
 	Kind       EventKind
+	Job        JobID  // job tag of the run (see Session.RunJob); empty for plain Run
 	Experiment string // experiment ID
 	Title      string
-	Trial      int   // trial index; -1 on experiment-level events
-	Trials     int   // trial count; 0 when unknown
-	Err        error // failure cause, on *Done events only
+	Trial      int           // trial index; -1 on experiment-level events
+	Trials     int           // trial count; 0 when unknown
+	Elapsed    time.Duration // monotonic time since the Run call began
+	Err        error         // failure cause, on *Done events only
 }
 
 // Config parameterizes a Session.
@@ -229,12 +234,14 @@ func (s *Session) emit(ev Event) {
 }
 
 // resolve maps IDs to registry entries, preserving order and dropping
-// duplicates; no IDs means every registered experiment.
+// duplicates; no IDs means every registered experiment. Every unknown
+// ID is reported at once, before any trial starts.
 func resolve(ids []string) ([]expt.Experiment, error) {
 	if len(ids) == 0 {
 		return expt.Registry(), nil
 	}
 	var out []expt.Experiment
+	var unknown []string
 	seen := map[string]bool{}
 	for _, id := range ids {
 		if seen[id] {
@@ -243,9 +250,52 @@ func resolve(ids []string) ([]expt.Experiment, error) {
 		seen[id] = true
 		e, ok := expt.Lookup(id)
 		if !ok {
-			return nil, fmt.Errorf("spybox: unknown experiment %q", id)
+			unknown = append(unknown, id)
+			continue
 		}
 		out = append(out, e)
+	}
+	if len(unknown) > 0 {
+		return nil, unknownIDsError(unknown)
+	}
+	return out, nil
+}
+
+// unknownIDsError names every unknown ID and every valid one, so a
+// typo'd batch fails with one actionable message instead of one error
+// per rerun.
+func unknownIDsError(unknown []string) error {
+	sort.Strings(unknown)
+	var valid []string
+	for _, e := range expt.Registry() {
+		valid = append(valid, e.ID)
+	}
+	noun := "experiment"
+	if len(unknown) > 1 {
+		noun = "experiments"
+	}
+	quoted := make([]string, len(unknown))
+	for i, id := range unknown {
+		quoted[i] = fmt.Sprintf("%q", id)
+	}
+	return fmt.Errorf("spybox: unknown %s %s (valid: %s)",
+		noun, strings.Join(quoted, ", "), strings.Join(valid, ", "))
+}
+
+// ExpandIDs validates and normalizes an experiment selection: IDs are
+// deduplicated in order, every unknown ID is reported in one error
+// (alongside the valid names), and an empty selection expands to every
+// registered experiment in paper order. Session.Run and the service
+// layer both resolve their selections through this, so validation
+// happens before any trial starts.
+func ExpandIDs(ids ...string) ([]string, error) {
+	todo, err := resolve(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(todo))
+	for i, e := range todo {
+		out[i] = e.ID
 	}
 	return out, nil
 }
@@ -256,6 +306,16 @@ func resolve(ids []string) ([]expt.Experiment, error) {
 // are still returned, alongside an *InterruptedError. Progress
 // streams through Config.Events.
 func (s *Session) Run(ctx context.Context, ids ...string) ([]*Result, error) {
+	return s.RunJob(ctx, "", ids...)
+}
+
+// RunJob is Run with a job tag: every progress event of the run
+// carries the tag in Event.Job, and the tag is threaded through the
+// trial runner's hooks, so one Events observer can demultiplex
+// concurrent runs. The service layer (pkg/spybox/service) drives
+// sessions exclusively through this; an empty tag is plain Run. The
+// tag never influences results.
+func (s *Session) RunJob(ctx context.Context, job JobID, ids ...string) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -263,6 +323,7 @@ func (s *Session) Run(ctx context.Context, ids ...string) ([]*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	var results []*Result
 	for _, e := range todo {
 		if ctx.Err() != nil {
@@ -271,19 +332,23 @@ func (s *Session) Run(ctx context.Context, ids ...string) ([]*Result, error) {
 		e := e
 		p := expt.Params{
 			Seed: s.cfg.Seed, Scale: s.cfg.Scale, Parallel: s.cfg.Parallel, Arch: s.cfg.Arch,
-			Ctx: ctx,
+			Ctx: ctx, Job: string(job),
 			Hooks: &expt.TrialHooks{
-				Start: func(i, n int) {
-					s.emit(Event{Kind: TrialStart, Experiment: e.ID, Title: e.Title, Trial: i, Trials: n})
+				Start: func(tag string, i, n int) {
+					s.emit(Event{Kind: TrialStart, Job: JobID(tag), Experiment: e.ID, Title: e.Title,
+						Trial: i, Trials: n, Elapsed: time.Since(start)})
 				},
-				Done: func(i, n int, err error) {
-					s.emit(Event{Kind: TrialDone, Experiment: e.ID, Title: e.Title, Trial: i, Trials: n, Err: err})
+				Done: func(tag string, i, n int, err error) {
+					s.emit(Event{Kind: TrialDone, Job: JobID(tag), Experiment: e.ID, Title: e.Title,
+						Trial: i, Trials: n, Elapsed: time.Since(start), Err: err})
 				},
 			},
 		}
-		s.emit(Event{Kind: ExperimentStart, Experiment: e.ID, Title: e.Title, Trial: -1})
+		s.emit(Event{Kind: ExperimentStart, Job: job, Experiment: e.ID, Title: e.Title,
+			Trial: -1, Elapsed: time.Since(start)})
 		r, err := e.Run(p)
-		s.emit(Event{Kind: ExperimentDone, Experiment: e.ID, Title: e.Title, Trial: -1, Err: err})
+		s.emit(Event{Kind: ExperimentDone, Job: job, Experiment: e.ID, Title: e.Title,
+			Trial: -1, Elapsed: time.Since(start), Err: err})
 		if err != nil {
 			// Only a genuine cancellation (the runner wraps the
 			// context's error) becomes an InterruptedError; a trial

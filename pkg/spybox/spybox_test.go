@@ -54,8 +54,36 @@ func TestRunUnknownID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every unknown ID is reported at once, with the valid names, and
+	// nothing runs.
+	var events int
+	sess2, err := Open(Config{Scale: Small, Events: func(Event) { events++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess2.Run(context.Background(), "nope", "fig4", "bogus")
+	if err == nil || !strings.Contains(err.Error(), `"bogus", "nope"`) || !strings.Contains(err.Error(), "valid: fig4,") {
+		t.Errorf("unknown IDs: %v", err)
+	}
+	if events != 0 {
+		t.Errorf("%d events fired for an invalid selection", events)
+	}
 	if _, err := sess.Run(context.Background(), "nope"); err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Errorf("unknown ID: %v", err)
+	}
+}
+
+func TestExpandIDs(t *testing.T) {
+	all, err := ExpandIDs()
+	if err != nil || len(all) != len(Experiments()) || all[0] != "fig4" {
+		t.Errorf("ExpandIDs() = %v, %v", all, err)
+	}
+	got, err := ExpandIDs("fig9", "fig4", "fig9")
+	if err != nil || strings.Join(got, ",") != "fig9,fig4" {
+		t.Errorf("dedup/order: %v, %v", got, err)
+	}
+	if _, err := ExpandIDs("zzz"); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("single unknown: %v", err)
 	}
 }
 
@@ -158,6 +186,46 @@ func TestRunCancelledMidExperiment(t *testing.T) {
 	}
 	if trialsDone != 1 {
 		t.Errorf("%d trials ran after cancellation at the first, want 1", trialsDone)
+	}
+}
+
+// TestRunJobTagsEvents: a tagged run threads its job ID into every
+// event — including the trial-level ones, which travel through the
+// expt runner's hooks — and Elapsed never runs backwards.
+func TestRunJobTagsEvents(t *testing.T) {
+	t.Parallel()
+	var mu sync.Mutex
+	var events []Event
+	sess, err := Open(Config{Scale: Small, Parallel: 1, Events: func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunJob(context.Background(), "job-7", "fig4"); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	var last Event
+	sawTrial := false
+	for i, ev := range events {
+		if ev.Job != "job-7" {
+			t.Errorf("event %d has job %q, want job-7", i, ev.Job)
+		}
+		if i > 0 && ev.Elapsed < last.Elapsed {
+			t.Errorf("event %d Elapsed %v < previous %v", i, ev.Elapsed, last.Elapsed)
+		}
+		if ev.Kind == TrialStart || ev.Kind == TrialDone {
+			sawTrial = true
+		}
+		last = ev
+	}
+	if !sawTrial {
+		t.Error("no trial-level events carried the job tag")
 	}
 }
 
