@@ -300,6 +300,7 @@ func BenchmarkSchedulerEvents(b *testing.B) {
 		b.Run(fmt.Sprintf("workers%d", nw), func(b *testing.B) {
 			m := sim.MustNewMachine(sim.Options{Seed: 0x5c4ed, NoiseOff: true})
 			per := b.N/nw + 1
+			b.ReportAllocs()
 			b.ResetTimer()
 			for w := 0; w < nw; w++ {
 				base := uint64(0x100000 + w*0x40000)
@@ -320,13 +321,19 @@ func BenchmarkSchedulerEvents(b *testing.B) {
 }
 
 // BenchmarkRunnerTrials measures trial fan-out overhead and scaling:
-// eight identical machine-building trials per op, serially and over
-// the worker pool. trials/s is the headline; on a multi-core host the
-// parallel variant should approach serial * min(8, cores).
+// eight identical trials per op, serially and over the worker pool.
+// Machines come from the runner's per-worker pool (Params.MachineFor),
+// so after the first trial each op is a Reset + run rather than a full
+// build — the trial-path hot loop experiments actually ride. trials/s
+// is the headline; on a multi-core host the parallel variant should
+// approach serial * min(8, cores).
 func BenchmarkRunnerTrials(b *testing.B) {
 	const trials = 8
 	body := func(t expt.Trial) (int, error) {
-		m := sim.MustNewMachine(sim.Options{Seed: t.Params.Seed, NoiseOff: true})
+		m, err := t.Params.MachineFor(sim.Options{Seed: t.Params.Seed, NoiseOff: true})
+		if err != nil {
+			return 0, err
+		}
 		touches := 0
 		if _, err := m.Spawn(0, "trial", 0, func(wk *sim.Worker) {
 			for i := 0; i < 2000; i++ {
@@ -345,6 +352,7 @@ func BenchmarkRunnerTrials(b *testing.B) {
 			name = "parallelMax"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p := expt.Params{Seed: 0xb417 + uint64(i), Scale: expt.Small, Parallel: parallel}
 				out, err := expt.RunTrials(p, trials, body)
@@ -358,6 +366,50 @@ func BenchmarkRunnerTrials(b *testing.B) {
 			b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
 		})
 	}
+}
+
+// BenchmarkMachineReset compares building a machine from scratch with
+// rewinding one in place — the per-trial cost the MachinePool turns
+// every repeat build into. The reset path's allocs/op should be 0.
+func BenchmarkMachineReset(b *testing.B) {
+	b.Run("new", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim.MustNewMachine(sim.Options{Seed: uint64(i), NoiseOff: true})
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		m := sim.MustNewMachine(sim.Options{Seed: 0, NoiseOff: true})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset(uint64(i))
+		}
+	})
+}
+
+// BenchmarkProbeAlloc measures the steady-state warp-probe event with
+// -benchmem as the zero-allocation gate: the embedded request, the
+// grow-only lats/hits scratch, and the slice-based contention tracker
+// together must keep the per-event alloc count at 0 (the worker's
+// one-time spawn and first-probe scratch growth amortize out over N).
+func BenchmarkProbeAlloc(b *testing.B) {
+	m := sim.MustNewMachine(sim.Options{Seed: 0xa110c, NoiseOff: true})
+	pas := make([]arch.PA, 16)
+	for i := range pas {
+		pas[i] = arch.MakePA(0, uint64(0x300000+i*arch.CacheLineSize))
+	}
+	if _, err := m.Spawn(0, "probe", 0, func(w *sim.Worker) {
+		for i := 0; i < b.N; i++ {
+			w.ProbeLines(pas)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "probes/s")
 }
 
 // BenchmarkExtMIGDefense regenerates the MIG-partitioning extension

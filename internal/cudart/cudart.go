@@ -134,6 +134,10 @@ type KernelFunc func(*Kernel)
 type Kernel struct {
 	w *sim.Worker
 	p *Process
+
+	// pas is ProbeSet's grow-only translation scratch; probes run per
+	// monitoring epoch and must not allocate.
+	pas []arch.PA
 }
 
 // Launch starts a kernel of one thread block on the process's GPU.
@@ -187,6 +191,16 @@ func (k *Kernel) LdCG(va arch.VA) (uint64, arch.Cycles) {
 	return k.w.LoadCG(pa)
 }
 
+// LdCGHit is LdCG plus the ground-truth L2 hit flag — instrumentation
+// only; attack logic classifies by latency like on real hardware.
+func (k *Kernel) LdCGHit(va arch.VA) (uint64, arch.Cycles, bool) {
+	pa, err := k.p.space.Translate(va)
+	if err != nil {
+		panic(err)
+	}
+	return k.w.LoadCGHit(pa)
+}
+
 // TouchCG moves va's line through the L2 without reading data.
 func (k *Kernel) TouchCG(va arch.VA) arch.Cycles {
 	pa, err := k.p.space.Translate(va)
@@ -196,10 +210,31 @@ func (k *Kernel) TouchCG(va arch.VA) arch.Cycles {
 	return k.w.TouchCG(pa)
 }
 
+// TouchCGHit is TouchCG plus the ground-truth L2 hit flag.
+func (k *Kernel) TouchCGHit(va arch.VA) (arch.Cycles, bool) {
+	pa, err := k.p.space.Translate(va)
+	if err != nil {
+		panic(err)
+	}
+	return k.w.TouchCGHit(pa)
+}
+
 // ProbeSet accesses all given addresses as one warp-parallel probe and
-// returns per-line latencies plus the aggregate time.
+// returns per-line latencies plus the aggregate time. The latency
+// slice is scratch owned by this kernel's worker — valid until the
+// next probe; copy it out to retain it across probes.
 func (k *Kernel) ProbeSet(vas []arch.VA) (lats []arch.Cycles, total arch.Cycles) {
-	pas := make([]arch.PA, len(vas))
+	lats, _, total = k.ProbeSetHits(vas)
+	return lats, total
+}
+
+// ProbeSetHits is ProbeSet plus per-line ground-truth hit flags; both
+// slices are worker-owned scratch with ProbeSet's lifetime rule.
+func (k *Kernel) ProbeSetHits(vas []arch.VA) (lats []arch.Cycles, hits []bool, total arch.Cycles) {
+	if cap(k.pas) < len(vas) {
+		k.pas = make([]arch.PA, len(vas))
+	}
+	pas := k.pas[:len(vas)]
 	for i, va := range vas {
 		pa, err := k.p.space.Translate(va)
 		if err != nil {
@@ -207,7 +242,7 @@ func (k *Kernel) ProbeSet(vas []arch.VA) (lats []arch.Cycles, total arch.Cycles)
 		}
 		pas[i] = pa
 	}
-	return k.w.ProbeLines(pas)
+	return k.w.ProbeLinesHits(pas)
 }
 
 // Stream touches count lines from va with the given byte stride as a

@@ -125,6 +125,13 @@ type Params struct {
 	// threads into every Hooks callback, so trial-level progress from
 	// concurrent jobs can be told apart. It never influences results.
 	Job string
+
+	// pool, when non-nil, recycles machines across this worker's
+	// trials (set by the runner; one pool per trial worker, so pooled
+	// machines never cross goroutines). Because Machine.Reset is
+	// byte-identical to fresh construction, pooling never influences
+	// results — the pooled-determinism tests pin this.
+	pool *sim.MachinePool
 }
 
 // ctx resolves the run's context; nil means never cancelled.
@@ -154,12 +161,29 @@ func (p Params) mustProfile() arch.Profile {
 	return prof
 }
 
-// machineFor builds a machine on the run's architecture profile with
-// the remaining options as given.
-func machineFor(p Params, opts sim.Options) *sim.Machine {
-	prof := p.mustProfile()
+// MachineFor builds a machine on the run's architecture profile with
+// the remaining options as given. Inside a trial the runner supplies a
+// per-worker machine pool, so a matching machine from an earlier trial
+// is reset to opts.Seed and reused instead of being rebuilt; outside
+// the runner it is plain construction.
+func (p Params) MachineFor(opts sim.Options) (*sim.Machine, error) {
+	prof, err := p.ArchProfile()
+	if err != nil {
+		return nil, err
+	}
 	opts.Profile = &prof
-	return sim.MustNewMachine(opts)
+	return p.pool.Get(opts) // a nil pool falls through to sim.NewMachine
+}
+
+// machineFor is MachineFor for experiment bodies, which run behind a
+// CLI that has already validated -arch; a failure here is a
+// programming error.
+func machineFor(p Params, opts sim.Options) *sim.Machine {
+	m, err := p.MachineFor(opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Result is the structured experiment report (see pkg/spybox/report):

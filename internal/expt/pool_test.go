@@ -1,0 +1,40 @@
+package expt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPoolingObservablyInvisible runs a trial-decomposed experiment
+// with machine pooling on (the default) and forced off, serial and
+// parallel, and demands byte-identical rendered reports. This is the
+// contract that lets the runner recycle machines at all: a pooled
+// trial must be indistinguishable from one on a fresh box.
+//
+// Not t.Parallel(): it flips the package-level poolingDisabled hook.
+func TestPoolingObservablyInvisible(t *testing.T) {
+	render := func(parallel int, disabled bool) []byte {
+		poolingDisabled = disabled
+		defer func() { poolingDisabled = false }()
+		r, err := Fig11(Params{Seed: 20230612, Scale: Small, Parallel: parallel})
+		if err != nil {
+			t.Fatalf("parallel=%d pooling-disabled=%t: %v", parallel, disabled, err)
+		}
+		var buf bytes.Buffer
+		r.Print(&buf)
+		return buf.Bytes()
+	}
+	want := render(1, true) // fresh machines, serial: the reference
+	for _, tc := range []struct {
+		name     string
+		parallel int
+	}{
+		{"pooled-serial", 1},
+		{"pooled-parallel", 4},
+	} {
+		if got := render(tc.parallel, false); !bytes.Equal(got, want) {
+			t.Errorf("%s: report diverges from fresh-machine run (%d vs %d bytes)",
+				tc.name, len(got), len(want))
+		}
+	}
+}

@@ -20,8 +20,23 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spybox/internal/sim"
 	"spybox/internal/xrand"
 )
+
+// poolingDisabled turns off machine pooling in the runner (trials then
+// build every machine fresh). Test hook: the pooled-determinism tests
+// flip it to prove pooled and fresh runs are byte-identical.
+var poolingDisabled bool
+
+// newTrialPool returns the machine pool for one trial worker, or nil
+// when pooling is disabled.
+func newTrialPool() *sim.MachinePool {
+	if poolingDisabled {
+		return nil
+	}
+	return sim.NewMachinePool()
+}
 
 // Trial identifies one unit of runner work: its index within the
 // experiment and the Params the trial body should run with. The
@@ -58,11 +73,12 @@ func (p Params) parallelism() int {
 // context wins only when no trial failed; the returned error then
 // wraps the context's error.
 func RunTrials[T any](p Params, n int, run func(t Trial) (T, error)) ([]T, error) {
-	return runPool(p.ctx(), p.Hooks, p.Job, p.parallelism(), n, func(i int) (T, error) {
+	return runPool(p.ctx(), p.Hooks, p.Job, p.parallelism(), n, func(i int, pool *sim.MachinePool) (T, error) {
 		tp := p
 		tp.Seed = TrialSeed(p.Seed, i)
 		tp.Parallel = 1
 		tp.Hooks = nil // trials never recursively observe
+		tp.pool = pool // machines recycle within this worker
 		return run(Trial{Index: i, Params: tp})
 	})
 }
@@ -89,22 +105,26 @@ func OneTrial(body func(Params) (*Result, error)) func(Params) (*Result, error) 
 	}
 }
 
-// runPool is the bounded fan-out shared by RunTrials and OneTrial:
-// `workers` goroutines claim indices 0..n-1 in order and write results
-// into an index-addressed slice, which is what makes the merge step
-// order-independent of scheduling.
-func runPool[T any](ctx context.Context, hooks *TrialHooks, job string, workers, n int, run func(i int) (T, error)) ([]T, error) {
+// runPool is the bounded fan-out behind RunTrials: `workers`
+// goroutines claim indices 0..n-1 in order and write results into an
+// index-addressed slice, which is what makes the merge step
+// order-independent of scheduling. Each worker owns one machine pool,
+// passed to run and swept (Recycle) after every trial, so machines
+// recycle within a worker but never migrate between goroutines.
+func runPool[T any](ctx context.Context, hooks *TrialHooks, job string, workers, n int, run func(i int, pool *sim.MachinePool) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		pool := newTrialPool()
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("run cancelled before trial %d/%d: %w", i, n, err)
 			}
 			hooks.start(job, i, n)
-			v, err := run(i)
+			v, err := run(i, pool)
+			pool.Recycle()
 			hooks.done(job, i, n, err)
 			if err != nil {
 				return nil, fmt.Errorf("trial %d: %w", i, err)
@@ -130,6 +150,7 @@ func runPool[T any](ctx context.Context, hooks *TrialHooks, job string, workers,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pool := newTrialPool()
 			for {
 				i := int(next.Add(1))
 				if i >= n {
@@ -157,7 +178,8 @@ func runPool[T any](ctx context.Context, hooks *TrialHooks, job string, workers,
 					continue
 				}
 				hooks.start(job, i, n)
-				v, err := run(i)
+				v, err := run(i, pool)
+				pool.Recycle()
 				hooks.done(job, i, n, err)
 				if err != nil {
 					mu.Lock()

@@ -130,6 +130,20 @@ func New(id arch.DeviceID, cfg Config, rng *xrand.Source) (*Device, error) {
 	return d, nil
 }
 
+// Reset restores the device to its freshly constructed state: L2
+// flushed with its replacement RNG re-derived from parent (consuming
+// one parent draw, exactly as New's rng argument does), HBM rewound,
+// and every SM's occupancy refilled. Outstanding BlockReservations
+// must have been released first.
+func (d *Device) Reset(parent *xrand.Source) {
+	d.l2.Reset(parent)
+	d.mem.Reset()
+	for i := range d.sms {
+		d.sms[i] = SM{SharedFree: d.cfg.SharedMemPerSM, BlockSlots: d.cfg.MaxBlocksPerSM}
+	}
+	d.nextSM = 0
+}
+
 // ID returns the device's identity.
 func (d *Device) ID() arch.DeviceID { return d.id }
 

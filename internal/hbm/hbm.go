@@ -79,3 +79,11 @@ func (s *Stack) Stats() (reads, rowHits, bytesRead uint64) {
 func (s *Stack) ResetStats() {
 	s.reads, s.rowHits, s.bytesRead = 0, 0, 0
 }
+
+// Reset restores the stack to its freshly constructed state: counters
+// cleared and the row buffer closed, so a pooled machine's first fill
+// sees the same cold row a fresh machine's would.
+func (s *Stack) Reset() {
+	s.ResetStats()
+	s.openRow, s.haveRow = 0, false
+}

@@ -126,8 +126,12 @@ type SetStats struct {
 
 // Cache is one GPU's L2.
 type Cache struct {
-	cfg       Config
-	sets      [][]way
+	cfg Config
+	// ways holds every line slot as one flat array (set i occupies
+	// ways[i*Ways:(i+1)*Ways]): one allocation per cache instead of
+	// one per set, and Flush is a single memclr — both of which matter
+	// once machines are pooled and reset between trials.
+	ways      []way
 	stamp     uint64
 	rng       *xrand.Source // used only by RandomRepl
 	stats     []SetStats
@@ -153,7 +157,7 @@ func New(cfg Config, rng *xrand.Source) (*Cache, error) {
 	}
 	c := &Cache{
 		cfg:       cfg,
-		sets:      make([][]way, cfg.Sets),
+		ways:      make([]way, cfg.Sets*cfg.Ways),
 		rng:       rng,
 		stats:     make([]SetStats, cfg.Sets),
 		lineShift: bits.TrailingZeros64(uint64(cfg.LineSize)),
@@ -164,10 +168,12 @@ func New(cfg Config, rng *xrand.Source) (*Cache, error) {
 	if uint64(cfg.Sets) > c.pageLines {
 		c.regions = uint64(cfg.Sets) / c.pageLines
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Ways)
-	}
 	return c, nil
+}
+
+// set returns the way slots of one set.
+func (c *Cache) set(i int) []way {
+	return c.ways[i*c.cfg.Ways : (i+1)*c.cfg.Ways]
 }
 
 // MustNew is New that panics on error, for fixed known-good configs.
@@ -220,7 +226,7 @@ func (c *Cache) Access(pa arch.PA) (hit bool, set int) {
 	set = c.SetIndex(pa)
 	tag := c.tagOf(pa)
 	c.stamp++
-	ws := c.sets[set]
+	ws := c.set(set)
 	for i := range ws {
 		if ws[i].valid && ws[i].tag == tag {
 			ws[i].used = c.stamp
@@ -241,7 +247,7 @@ func (c *Cache) Access(pa arch.PA) (hit bool, set int) {
 func (c *Cache) Contains(pa arch.PA) bool {
 	set := c.SetIndex(pa)
 	tag := c.tagOf(pa)
-	for _, w := range c.sets[set] {
+	for _, w := range c.set(set) {
 		if w.valid && w.tag == tag {
 			return true
 		}
@@ -251,7 +257,7 @@ func (c *Cache) Contains(pa arch.PA) bool {
 
 // fillLine inserts the tag into the set, evicting if necessary.
 func (c *Cache) fillLine(set int, tag uint64) {
-	ws := c.sets[set]
+	ws := c.set(set)
 	victim := -1
 	for i := range ws {
 		if !ws[i].valid {
@@ -300,11 +306,27 @@ func (c *Cache) ResetStats() {
 
 // Flush invalidates the entire cache (used between experiment trials;
 // no user-level flush exists on the real hardware, which is precisely
-// why the attacks use eviction sets instead).
+// why the attacks use eviction sets instead). One memclr over the flat
+// way array.
 func (c *Cache) Flush() {
-	for _, ws := range c.sets {
-		for i := range ws {
-			ws[i] = way{}
+	clear(c.ways)
+}
+
+// Reset restores the cache to its freshly constructed state: all lines
+// invalid, the LRU stamp rewound, counters cleared. When parent is
+// non-nil the replacement RNG is re-derived from it exactly as New
+// receives it from parent.Split(), consuming one parent draw — this is
+// what lets a pooled machine replay its construction-time RNG
+// derivation sequence and stay byte-identical to a fresh build.
+func (c *Cache) Reset(parent *xrand.Source) {
+	c.Flush()
+	c.stamp = 0
+	c.ResetStats()
+	if parent != nil {
+		if c.rng == nil {
+			c.rng = parent.Split()
+		} else {
+			c.rng.ReseedFrom(parent)
 		}
 	}
 }
@@ -312,7 +334,7 @@ func (c *Cache) Flush() {
 // OccupiedWays returns how many valid lines set holds (test helper).
 func (c *Cache) OccupiedWays(set int) int {
 	n := 0
-	for _, w := range c.sets[set] {
+	for _, w := range c.set(set) {
 		if w.valid {
 			n++
 		}

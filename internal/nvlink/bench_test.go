@@ -13,6 +13,7 @@ import (
 // meaningfully more expensive to simulate.
 func BenchmarkFabricTraversal(b *testing.B) {
 	b.Run("flat-hop", func(b *testing.B) {
+		b.ReportAllocs()
 		topo := DGX1()
 		for i := 0; i < b.N; i++ {
 			if _, err := topo.Traverse(0, 1, arch.CacheLineSize); err != nil {
@@ -21,6 +22,7 @@ func BenchmarkFabricTraversal(b *testing.B) {
 		}
 	})
 	b.Run("two-stage", func(b *testing.B) {
+		b.ReportAllocs()
 		topo, err := FromProfile(arch.V100DGX2())
 		if err != nil {
 			b.Fatal(err)
@@ -36,6 +38,7 @@ func BenchmarkFabricTraversal(b *testing.B) {
 		}
 	})
 	b.Run("two-stage-contended", func(b *testing.B) {
+		b.ReportAllocs()
 		topo, err := FromProfile(arch.V100DGX2())
 		if err != nil {
 			b.Fatal(err)

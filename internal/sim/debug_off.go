@@ -1,0 +1,8 @@
+//go:build !simdebug
+
+package sim
+
+// simDebug gates the scheduler's invariant checks. The default build
+// compiles them out of the hot path entirely; `go test -tags simdebug`
+// turns them back on.
+const simDebug = false

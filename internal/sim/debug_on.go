@@ -1,0 +1,7 @@
+//go:build simdebug
+
+package sim
+
+// simDebug enables the scheduler's invariant checks (double-park
+// detection plus full heap verification after every mutation).
+const simDebug = true

@@ -55,6 +55,19 @@ func newEngine() *engine {
 	return e
 }
 
+// reset rewinds the engine to its freshly constructed state so worker
+// IDs and event numbers replay identically on a reused machine. It is
+// only legal between runs, when no workers exist.
+func (e *engine) reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.workers) != 0 || e.running != 0 || e.parked.len() != 0 {
+		panic("sim: engine reset with live workers")
+	}
+	e.nextID = 0
+	e.eventNo = 0
+}
+
 // register adds a worker in the running state and starts its body.
 func (e *engine) register(w *Worker, body func(*Worker)) {
 	e.mu.Lock()
@@ -64,6 +77,10 @@ func (e *engine) register(w *Worker, body func(*Worker)) {
 	w.heapIdx = noHeapIdx
 	e.workers[w.id] = w
 	e.running++
+	// Every registered worker may be parked simultaneously (a launch
+	// storm parks all blocks at clock 0); size the heap for that now so
+	// the event loop never grows it.
+	e.parked.grow(len(e.workers))
 	e.mu.Unlock()
 
 	go func() {

@@ -65,8 +65,11 @@ type Machine struct {
 	peerEnabled [][]bool
 
 	// Recent-accessor tracking per device for the contention noise
-	// term: lastTouch[dev][workerID] = engine event number.
-	lastTouch []map[int]uint64
+	// term. A compact slice, not a map: jitterFor runs on every single
+	// line access, and at the handful of concurrently live workers an
+	// attack runs, a linear stamp/count/prune pass does no hashing and
+	// no per-access garbage.
+	lastTouch [][]touchRec
 
 	runMu sync.Mutex
 
@@ -77,6 +80,14 @@ type Machine struct {
 // contentionWindow is how many engine events back a worker still
 // counts as "concurrently active" on an L2.
 const contentionWindow = 96
+
+// touchRec records one worker's most recent event on a device's L2.
+// Holding the *Worker rather than its ID lets the liveness check read
+// w.state directly instead of probing the engine's worker map.
+type touchRec struct {
+	w  *Worker
+	ev uint64
+}
 
 // NewMachine builds a machine shaped by opts.Profile (the paper's
 // P100 DGX-1 when nil). Zero-value fields of opts get profile
@@ -126,7 +137,7 @@ func NewMachine(opts Options) (*Machine, error) {
 	devCfg := gpu.FromProfile(prof)
 	devCfg.Cache = opts.CacheCfg
 	m.peerEnabled = make([][]bool, n)
-	m.lastTouch = make([]map[int]uint64, n)
+	m.lastTouch = make([][]touchRec, n)
 	for i := 0; i < n; i++ {
 		d, err := gpu.New(arch.DeviceID(i), devCfg, root.Split())
 		if err != nil {
@@ -134,9 +145,38 @@ func NewMachine(opts Options) (*Machine, error) {
 		}
 		m.devices = append(m.devices, d)
 		m.peerEnabled[i] = make([]bool, n)
-		m.lastTouch[i] = make(map[int]uint64)
 	}
 	return m, nil
+}
+
+// Reset rewinds the machine to the state NewMachine would have built
+// it in with the given seed, reusing every existing allocation: RNG
+// streams are re-derived in construction order, caches flushed, HBM
+// row buffers closed, physical memory emptied (page buffers recycled),
+// fabric counters and port clocks cleared, peer access revoked, the
+// contention tracker drained, and the PID counter rewound. A reset
+// machine's runs are byte-identical to a fresh machine's — the golden
+// tests pin this — which is what makes pooling observably invisible.
+//
+// Reset is only legal between Runs (no live workers); the engine
+// panics otherwise.
+func (m *Machine) Reset(seed uint64) {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+	m.eng.reset()
+	// Replay NewMachine's derivation order exactly: root, then the
+	// jitter stream, then one child per device.
+	m.root.Reseed(seed ^ 0x5b7a1e4c90d3f821)
+	m.jitter.ReseedFrom(m.root)
+	m.phys.Reset()
+	m.topo.ResetStats()
+	m.topo.ResetPortClocks()
+	for i, d := range m.devices {
+		d.Reset(m.root)
+		clear(m.peerEnabled[i])
+		m.lastTouch[i] = m.lastTouch[i][:0]
+	}
+	m.pidCtr.Store(0)
 }
 
 // MustNewMachine panics on construction error (fixed configs).
@@ -244,7 +284,11 @@ const (
 	opYield
 )
 
-// request is one shared-hardware event.
+// request is one shared-hardware event. Each Worker embeds exactly one
+// and reuses it for every op it issues: the event loop is fully
+// serialized, so a request is only ever live between one yield and the
+// matching service, and reuse keeps the hot path allocation-free. The
+// lats/hits result slices are grow-only scratch owned by the worker.
 type request struct {
 	kind opKind
 
@@ -263,6 +307,7 @@ type request struct {
 	// results
 	value   uint64
 	lat     arch.Cycles
+	hit     bool
 	lats    []arch.Cycles
 	hits    []bool
 	misses  int
@@ -283,6 +328,11 @@ type Worker struct {
 
 	pending *request
 	res     *gpu.BlockReservation
+
+	// req is the worker's reusable event record (see request); bursts
+	// is service-side fabric-burst scratch, likewise grow-only.
+	req    request
+	bursts []homeBurst
 }
 
 // Spawn creates a worker (one simulated thread block) on dev running
@@ -361,27 +411,63 @@ func (w *Worker) SharedWrite() {
 // word at physical address pa, returning the loaded value and the
 // access latency. One engine event.
 func (w *Worker) LoadCG(pa arch.PA) (uint64, arch.Cycles) {
-	req := &request{kind: opLoad, pa: pa, loadData: true}
+	v, lat, _ := w.LoadCGHit(pa)
+	return v, lat
+}
+
+// LoadCGHit is LoadCG plus the ground-truth L2 hit flag, for callers
+// (tests, diagnostics) that should not re-derive hit/miss from latency
+// thresholds. Attack code models the real machine and must keep using
+// latency classification.
+func (w *Worker) LoadCGHit(pa arch.PA) (uint64, arch.Cycles, bool) {
+	req := &w.req
+	req.kind = opLoad
+	req.pa = pa
+	req.loadData = true
 	w.yield(req)
-	return req.value, req.lat
+	return req.value, req.lat, req.hit
 }
 
 // TouchCG is LoadCG without data (for kernels that only shape cache
 // state); it still moves the line through the L2.
 func (w *Worker) TouchCG(pa arch.PA) arch.Cycles {
-	req := &request{kind: opLoad, pa: pa}
+	lat, _ := w.TouchCGHit(pa)
+	return lat
+}
+
+// TouchCGHit is TouchCG plus the ground-truth L2 hit flag.
+func (w *Worker) TouchCGHit(pa arch.PA) (arch.Cycles, bool) {
+	req := &w.req
+	req.kind = opLoad
+	req.pa = pa
+	req.loadData = false
 	w.yield(req)
-	return req.lat
+	return req.lat, req.hit
 }
 
 // ProbeLines accesses every line in pas as one warp-parallel probe:
 // per-line latencies are measured individually, and the aggregate
 // charge models memory-level parallelism (max latency plus issue
 // intervals plus per-miss serialization). One engine event.
+//
+// The returned slice is the worker's own scratch buffer: it is valid
+// until this worker's next ProbeLines/ProbeLinesHits call, and callers
+// that retain latencies across probes must copy them out.
 func (w *Worker) ProbeLines(pas []arch.PA) (lats []arch.Cycles, total arch.Cycles) {
-	req := &request{kind: opProbe, pas: pas}
+	lats, _, total = w.ProbeLinesHits(pas)
+	return lats, total
+}
+
+// ProbeLinesHits is ProbeLines plus the per-line ground-truth hit
+// flags. Both returned slices are worker-owned scratch with the same
+// lifetime rule as ProbeLines.
+func (w *Worker) ProbeLinesHits(pas []arch.PA) (lats []arch.Cycles, hits []bool, total arch.Cycles) {
+	req := &w.req
+	req.kind = opProbe
+	req.pas = pas
 	w.yield(req)
-	return req.lats, req.lat
+	req.pas = nil
+	return req.lats, req.hits, req.lat
 }
 
 // StreamRange touches count lines starting at physical address base
@@ -390,7 +476,11 @@ func (w *Worker) ProbeLines(pas []arch.PA) (lats []arch.Cycles, total arch.Cycle
 // event regardless of count, which keeps large victim workloads cheap
 // to simulate.
 func (w *Worker) StreamRange(base arch.PA, count, stride int) (misses int, total arch.Cycles) {
-	req := &request{kind: opStream, base: base, count: count, stride: stride}
+	req := &w.req
+	req.kind = opStream
+	req.base = base
+	req.count = count
+	req.stride = stride
 	w.yield(req)
 	return req.misses, req.lat
 }
@@ -399,7 +489,8 @@ func (w *Worker) StreamRange(base arch.PA, count, stride int) (misses int, total
 // peers run. Rarely needed; spin loops that contain real events never
 // starve anyone.
 func (w *Worker) Yield() {
-	w.yield(&request{kind: opYield})
+	w.req.kind = opYield
+	w.yield(&w.req)
 }
 
 // --- Event service (engine goroutine, lock held) ---
@@ -443,7 +534,6 @@ func (m *Machine) service(w *Worker, req *request) {
 		// no-op: the park/resume itself is the point
 	case opLoad:
 		lat, hit := m.accessLine(w, req.pa)
-		_ = hit
 		if home := req.pa.HomeDevice(); m.hasFabric && home != w.dev {
 			// A single load observes its own port backlog directly.
 			lat += m.topo.ReserveBurst(w.dev, home, 1, w.clock)
@@ -451,13 +541,19 @@ func (m *Machine) service(w *Worker, req *request) {
 		if req.loadData {
 			req.value = m.phys.ReadU64(req.pa)
 		}
+		req.hit = hit
 		req.lat = lat
 		w.clock += lat
 	case opProbe:
-		req.lats = make([]arch.Cycles, len(req.pas))
-		req.hits = make([]bool, len(req.pas))
+		if n := len(req.pas); cap(req.lats) < n {
+			req.lats = make([]arch.Cycles, n)
+			req.hits = make([]bool, n)
+		} else {
+			req.lats = req.lats[:n]
+			req.hits = req.hits[:n]
+		}
 		var maxLat arch.Cycles
-		var bursts []homeBurst
+		bursts := w.bursts[:0]
 		misses := 0
 		for i, pa := range req.pas {
 			lat, hit := m.accessLine(w, pa)
@@ -482,12 +578,13 @@ func (m *Machine) service(w *Worker, req *request) {
 		// port backlog delays the probe as a whole, never one line's
 		// measured latency — classification stays clean under load.
 		total += m.reserveBursts(w, bursts)
+		w.bursts = bursts
 		req.misses = misses
 		req.lat = total
 		w.clock += total
 	case opStream:
 		var total arch.Cycles
-		var bursts []homeBurst
+		bursts := w.bursts[:0]
 		misses := 0
 		for i := 0; i < req.count; i++ {
 			pa := req.base + arch.PA(i*req.stride)
@@ -512,6 +609,7 @@ func (m *Machine) service(w *Worker, req *request) {
 		// One streaming event is one fabric burst; its port occupancy
 		// is what backpressures co-scheduled streams on the same plane.
 		total += m.reserveBursts(w, bursts)
+		w.bursts = bursts
 		req.misses = misses
 		req.lat = total
 		w.clock += total
@@ -553,23 +651,33 @@ func (m *Machine) accessLine(w *Worker, pa arch.PA) (arch.Cycles, bool) {
 // recently active on the same L2 — the port/bank contention that
 // drives the Fig. 9 error-rate curve.
 func (m *Machine) jitterFor(w *Worker, home arch.DeviceID) arch.Cycles {
-	touch := m.lastTouch[home]
-	touch[w.id] = m.eng.eventNo
+	// One linear pass over the device's recent accessors: stamp w,
+	// count live others within the window, and compact stale records
+	// out in place. No hashing, no map churn — this runs per line.
+	now := m.eng.eventNo
+	recs := m.lastTouch[home]
+	kept := recs[:0]
+	others := 0
+	stamped := false
+	for _, r := range recs {
+		if r.w == w {
+			r.ev = now
+			stamped = true
+		} else if r.w.state == stateDone || now-r.ev > contentionWindow {
+			// Only live workers within the recency window count: a
+			// worker from a finished kernel cannot contend for ports.
+			continue
+		} else {
+			others++
+		}
+		kept = append(kept, r)
+	}
+	if !stamped {
+		kept = append(kept, touchRec{w: w, ev: now})
+	}
+	m.lastTouch[home] = kept
 	if m.noiseOff {
 		return 0
-	}
-	others := 0
-	for id, ev := range touch {
-		if id == w.id {
-			continue
-		}
-		// Only live workers within the recency window count: a worker
-		// from a finished kernel cannot contend for ports.
-		if _, alive := m.eng.workers[id]; alive && m.eng.eventNo-ev <= contentionWindow {
-			others++
-		} else {
-			delete(touch, id)
-		}
 	}
 	sigma := m.lat.JitterSigma + m.contSigmaPer*float64(others)
 	j := m.jitter.NormSigma(sigma)
@@ -585,8 +693,8 @@ func (m *Machine) jitterFor(w *Worker, home arch.DeviceID) arch.Cycles {
 // within the trailing contention window (diagnostic hook).
 func (m *Machine) ContentionLevel(dev arch.DeviceID) int {
 	n := 0
-	for _, ev := range m.lastTouch[dev] {
-		if m.eng.eventNo-ev <= contentionWindow {
+	for _, r := range m.lastTouch[dev] {
+		if m.eng.eventNo-r.ev <= contentionWindow {
 			n++
 		}
 	}

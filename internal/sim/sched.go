@@ -20,6 +20,18 @@ const noHeapIdx = -1
 
 func (h *parkedHeap) len() int { return len(h.ws) }
 
+// grow pre-sizes the backing array for at least n parked workers, so a
+// kernel launch storm (every block parking its first event at once)
+// never pays append growth inside the event loop.
+func (h *parkedHeap) grow(n int) {
+	if cap(h.ws) >= n {
+		return
+	}
+	ws := make([]*Worker, len(h.ws), n)
+	copy(ws, h.ws)
+	h.ws = ws
+}
+
 func (h *parkedHeap) less(i, j int) bool {
 	a, b := h.ws[i], h.ws[j]
 	if a.clock != b.clock {
@@ -34,16 +46,37 @@ func (h *parkedHeap) swap(i, j int) {
 	h.ws[j].heapIdx = j
 }
 
-// push adds a freshly parked worker. The index doubles as a cheap
-// scheduler invariant: a worker must never be parked twice without
-// being serviced in between.
+// push adds a freshly parked worker. Under -tags simdebug the index
+// doubles as a scheduler invariant: a worker must never be parked
+// twice without being serviced in between, and the whole heap is
+// re-verified after every mutation.
 func (h *parkedHeap) push(w *Worker) {
-	if w.heapIdx != noHeapIdx {
+	if simDebug && w.heapIdx != noHeapIdx {
 		panic("sim: worker parked while already in the scheduler heap")
 	}
 	w.heapIdx = len(h.ws)
 	h.ws = append(h.ws, w)
 	h.up(w.heapIdx)
+	if simDebug {
+		h.verify()
+	}
+}
+
+// verify checks the full heap invariant — parent ordering and heapIdx
+// consistency — and panics on violation. Compiled to a no-op call site
+// unless built with -tags simdebug.
+func (h *parkedHeap) verify() {
+	if !simDebug {
+		return
+	}
+	for i := range h.ws {
+		if h.ws[i].heapIdx != i {
+			panic("sim: parked heap index out of sync with worker")
+		}
+		if i > 0 && h.less(i, (i-1)/2) {
+			panic("sim: parked heap ordering invariant violated")
+		}
+	}
 }
 
 // popMin removes and returns the (clock, id)-minimal parked worker.
@@ -62,6 +95,9 @@ func (h *parkedHeap) popMin() *Worker {
 		h.down(0)
 	}
 	min.heapIdx = noHeapIdx
+	if simDebug {
+		h.verify()
+	}
 	return min
 }
 

@@ -173,10 +173,16 @@ func TestProbeLinesAggregateAndPerLine(t *testing.T) {
 		pas[i] = arch.MakePA(0, uint64(0x80000+i*arch.CacheLineSize))
 	}
 	var cold, warm []arch.Cycles
+	var coldHits, warmHits []bool
 	var coldTotal, warmTotal arch.Cycles
 	m.Spawn(0, "probe", 0, func(w *Worker) {
-		cold, coldTotal = w.ProbeLines(pas)
-		warm, warmTotal = w.ProbeLines(pas)
+		// ProbeLines returns worker-owned scratch, valid only until the
+		// next probe: retaining the cold results requires a copy-out.
+		lats, hits, total := w.ProbeLinesHits(pas)
+		cold = append([]arch.Cycles(nil), lats...)
+		coldHits = append([]bool(nil), hits...)
+		coldTotal = total
+		warm, warmHits, warmTotal = w.ProbeLinesHits(pas)
 	})
 	m.Run()
 	for i := range pas {
@@ -187,6 +193,13 @@ func TestProbeLinesAggregateAndPerLine(t *testing.T) {
 		}
 		if warm[i] != arch.NomLocalHit {
 			t.Errorf("warm line %d = %v", i, warm[i])
+		}
+		// Ground-truth hit flags agree with the latency classes.
+		if coldHits[i] {
+			t.Errorf("cold line %d reported as L2 hit", i)
+		}
+		if !warmHits[i] {
+			t.Errorf("warm line %d reported as L2 miss", i)
 		}
 	}
 	// Aggregate reflects memory-level parallelism: far less than the

@@ -31,6 +31,7 @@ const FramesPerGPU = arch.HBMBytesPerGPU / arch.PageSize
 type PhysMem struct {
 	used    []map[uint64]bool // per device: frame-within-device -> taken
 	backing map[uint64][]byte // machine frame number -> page bytes
+	free    [][]byte          // recycled page buffers (see Reset/freeFrame)
 }
 
 // NewPhysMem returns an empty physical memory for a box of numGPUs
@@ -69,23 +70,50 @@ func (p *PhysMem) allocFrame(dev arch.DeviceID, rng *xrand.Source, allow func(ui
 	return 0, fmt.Errorf("vmem: %v: no free frame satisfies the placement policy", dev)
 }
 
-// freeFrame releases the frame at base (a page-aligned PA).
+// freeFrame releases the frame at base (a page-aligned PA). Its
+// backing buffer, if materialized, goes to the recycle list.
 func (p *PhysMem) freeFrame(base arch.PA) {
 	dev, off := base.SplitPA()
 	delete(p.used[dev], off/arch.PageSize)
-	delete(p.backing, base.FrameNumber())
+	fn := base.FrameNumber()
+	if b, ok := p.backing[fn]; ok {
+		p.free = append(p.free, b)
+		delete(p.backing, fn)
+	}
 }
 
 // page returns the backing bytes for the frame containing pa,
-// materializing a zero page on first touch.
+// materializing a zero page on first touch (from the recycle list
+// when possible — re-zeroed, so recycled pages are indistinguishable
+// from fresh ones).
 func (p *PhysMem) page(pa arch.PA) []byte {
 	fn := pa.FrameNumber()
 	b, ok := p.backing[fn]
 	if !ok {
-		b = make([]byte, arch.PageSize)
+		if n := len(p.free); n > 0 {
+			b = p.free[n-1]
+			p.free = p.free[:n-1]
+			clear(b)
+		} else {
+			b = make([]byte, arch.PageSize)
+		}
 		p.backing[fn] = b
 	}
 	return b
+}
+
+// Reset releases every frame and every mapping, returning the physical
+// memory to its freshly constructed (empty) state. Backing buffers are
+// kept on the recycle list so a pooled machine's next trial reuses
+// them instead of reallocating.
+func (p *PhysMem) Reset() {
+	for i := range p.used {
+		clear(p.used[i])
+	}
+	for fn, b := range p.backing {
+		p.free = append(p.free, b)
+		delete(p.backing, fn)
+	}
 }
 
 // ReadU64 reads the 8-byte word at pa.

@@ -43,6 +43,15 @@ func SplitMix64At(seed uint64, n uint64) uint64 {
 // independent streams.
 func New(seed uint64) *Source {
 	var s Source
+	s.Reseed(seed)
+	return &s
+}
+
+// Reseed reinitializes the Source in place to exactly the state
+// New(seed) returns, including clearing the cached normal deviate.
+// This is the allocation-free path machine pooling uses to rewind
+// every RNG stream between trials.
+func (s *Source) Reseed(seed uint64) {
 	st := seed
 	for i := range s.s {
 		s.s[i] = splitmix64(&st)
@@ -52,7 +61,7 @@ func New(seed uint64) *Source {
 	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
 		s.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &s
+	s.spare, s.haveSpare = 0, false
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
@@ -75,6 +84,14 @@ func (s *Source) Uint64() uint64 {
 // parent advances by one draw, so sibling splits are independent too.
 func (s *Source) Split() *Source {
 	return New(s.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+// ReseedFrom reinitializes s in place to exactly the state
+// parent.Split() would return, advancing parent by one draw. Machine
+// reset uses it to replay the construction-time stream derivations
+// without allocating new Sources.
+func (s *Source) ReseedFrom(parent *Source) {
+	s.Reseed(parent.Uint64() ^ 0xa0761d6478bd642f)
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.

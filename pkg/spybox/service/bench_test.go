@@ -30,6 +30,7 @@ func BenchmarkServiceSubmit(b *testing.B) {
 	if st, err := svc.Wait(context.Background(), warm); err != nil || st.State != spybox.JobDone {
 		b.Fatalf("warmup: %+v, %v", st, err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id, err := svc.Submit(spec)

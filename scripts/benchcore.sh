@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# benchcore.sh — run the gated core benchmarks and emit a trajectory
+# snapshot with scripts/benchgate.
+#
+# Usage: scripts/benchcore.sh OUT.json [LABEL] [MERGE.json]
+#
+#   OUT.json    snapshot to write (CI uses a temp file, then compares
+#               it against the committed BENCH_core.json)
+#   LABEL       label stored in the snapshot (default: "local")
+#   MERGE.json  existing trajectory whose entries become OUT's history —
+#               pass BENCH_core.json twice to append a new point to the
+#               committed trajectory in place
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:?usage: benchcore.sh OUT.json [LABEL] [MERGE.json]}"
+label="${2:-local}"
+merge="${3:-}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSchedulerEvents|BenchmarkRunnerTrials|BenchmarkMachineReset|BenchmarkProbeAlloc' -benchmem -benchtime 1s . | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkFabricTraversal' -benchmem -benchtime 1s ./internal/nvlink | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkServiceSubmit' -benchmem -benchtime 1s ./pkg/spybox/service | tee -a "$tmp"
+
+if [ -n "$merge" ]; then
+    go run ./scripts/benchgate -emit "$out" -label "$label" -merge "$merge" <"$tmp"
+else
+    go run ./scripts/benchgate -emit "$out" -label "$label" <"$tmp"
+fi

@@ -1,0 +1,217 @@
+// benchgate maintains the repository's committed benchmark trajectory
+// (BENCH_core.json) and turns it into a CI gate.
+//
+// Emit mode parses `go test -bench -benchmem` text from stdin into a
+// JSON snapshot, optionally prepending the history of an existing
+// trajectory file:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchgate -emit BENCH_core.json -label "PR 6" -merge BENCH_core.json
+//
+// Compare mode gates a fresh run against the committed baseline,
+// failing (exit 1) on any benchmark whose ns/op regressed beyond
+// -max-ratio, or that allocates where the baseline reports 0
+// allocs/op:
+//
+//	benchgate -baseline BENCH_core.json -current cur.json -max-ratio 1.25
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema is the trajectory file format version.
+const Schema = "spybox.bench/v1"
+
+// Bench is one benchmark's measured numbers. Metrics holds custom
+// b.ReportMetric units (events/s, trials/s, ...).
+type Bench struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Entry is one snapshot of the benchmark set.
+type Entry struct {
+	Label      string           `json:"label"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// File is the trajectory document: the current snapshot plus the
+// ordered history of earlier ones (oldest first).
+type File struct {
+	Schema string `json:"schema"`
+	Entry
+	History []Entry `json:"history,omitempty"`
+}
+
+// gomaxprocsSuffix strips the -N goroutine-count suffix go test
+// appends to benchmark names, so trajectories compare across hosts
+// with different core counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput extracts benchmark result lines from go test text.
+func parseBenchOutput(r *bufio.Scanner) (map[string]Bench, error) {
+	out := make(map[string]Bench)
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // header or malformed line, not a result row
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // second field must be the iteration count
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		b := Bench{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		out[name] = b
+	}
+	return out, r.Err()
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("benchgate: %s: schema %q, want %q", path, f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+func writeFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func emit(out, label, merge string) error {
+	benches, err := parseBenchOutput(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("benchgate: no benchmark results on stdin")
+	}
+	f := &File{Schema: Schema, Entry: Entry{Label: label, Benchmarks: benches}}
+	if merge != "" {
+		old, err := readFile(merge)
+		if err != nil {
+			return err
+		}
+		f.History = append(old.History, old.Entry)
+	}
+	if err := writeFile(out, f); err != nil {
+		return err
+	}
+	fmt.Printf("benchgate: wrote %s (%d benchmarks, %d history entries)\n",
+		out, len(benches), len(f.History))
+	return nil
+}
+
+func compare(baselinePath, currentPath string, maxRatio float64) error {
+	base, err := readFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readFile(currentPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("benchgate: no benchmarks in common between %s and %s", baselinePath, currentPath)
+	}
+	failures := 0
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		status := "ok"
+		switch {
+		case b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*maxRatio:
+			status = fmt.Sprintf("FAIL ns/op regression beyond %.2fx", maxRatio)
+			failures++
+		case b.AllocsPerOp == 0 && c.AllocsPerOp > 0:
+			status = "FAIL allocates on a zero-alloc benchmark"
+			failures++
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp / b.NsPerOp
+		}
+		fmt.Printf("%-50s %14.1f -> %14.1f ns/op (%.2fx)  %g -> %g allocs/op  %s\n",
+			name, b.NsPerOp, c.NsPerOp, ratio, b.AllocsPerOp, c.AllocsPerOp, status)
+	}
+	if failures > 0 {
+		return fmt.Errorf("benchgate: %d benchmark(s) regressed against %s", failures, baselinePath)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.2fx of %s\n", len(names), maxRatio, baselinePath)
+	return nil
+}
+
+func main() {
+	var (
+		emitPath = flag.String("emit", "", "write a trajectory snapshot parsed from stdin to this path")
+		label    = flag.String("label", "local", "label for the emitted snapshot")
+		merge    = flag.String("merge", "", "existing trajectory whose entries become the new file's history")
+		baseline = flag.String("baseline", "", "committed trajectory to gate against")
+		current  = flag.String("current", "", "fresh snapshot to compare with -baseline")
+		maxRatio = flag.Float64("max-ratio", 1.25, "fail when current ns/op exceeds baseline * ratio")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *emitPath != "":
+		err = emit(*emitPath, *label, *merge)
+	case *baseline != "" && *current != "":
+		err = compare(*baseline, *current, *maxRatio)
+	default:
+		err = fmt.Errorf("benchgate: use -emit OUT [-label L] [-merge OLD], or -baseline BASE -current CUR [-max-ratio R]")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
