@@ -258,7 +258,9 @@ func runCmd(args []string) error {
 			break
 		}
 		if *format == "text" {
-			res[0].Print(os.Stdout)
+			if err := res[0].Print(os.Stdout); err != nil {
+				return err
+			}
 			fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
 		if err := writeOutputs(*outDir, res[0], *format == "text"); err != nil {

@@ -165,7 +165,9 @@ func waitAndPrint(cli *service.Client, id spybox.JobID, format string, progress 
 			return err
 		}
 		for _, r := range results {
-			r.Print(os.Stdout)
+			if err := r.Print(os.Stdout); err != nil {
+				return err
+			}
 			fmt.Println()
 		}
 	}

@@ -223,6 +223,8 @@ func (k *Kernel) TouchCGHit(va arch.VA) (arch.Cycles, bool) {
 // returns per-line latencies plus the aggregate time. The latency
 // slice is scratch owned by this kernel's worker — valid until the
 // next probe; copy it out to retain it across probes.
+//
+//spylint:scratch
 func (k *Kernel) ProbeSet(vas []arch.VA) (lats []arch.Cycles, total arch.Cycles) {
 	lats, _, total = k.ProbeSetHits(vas)
 	return lats, total
@@ -230,6 +232,8 @@ func (k *Kernel) ProbeSet(vas []arch.VA) (lats []arch.Cycles, total arch.Cycles)
 
 // ProbeSetHits is ProbeSet plus per-line ground-truth hit flags; both
 // slices are worker-owned scratch with ProbeSet's lifetime rule.
+//
+//spylint:scratch
 func (k *Kernel) ProbeSetHits(vas []arch.VA) (lats []arch.Cycles, hits []bool, total arch.Cycles) {
 	if cap(k.pas) < len(vas) {
 		k.pas = make([]arch.PA, len(vas))

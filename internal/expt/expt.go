@@ -309,9 +309,13 @@ func Registry() []Experiment {
 }
 
 // lookupIndex is the ID -> Experiment map, built once from Registry().
+// Write-once under sync.Once and derived from the static registry, so
+// no trial can observe it in two states.
 var (
+	//spylint:allow detrand write-once sync.Once guard, never perturbs a trial
 	lookupOnce sync.Once
-	lookupMap  map[string]Experiment
+	//spylint:allow detrand built once from the static registry, read-only afterwards
+	lookupMap map[string]Experiment
 )
 
 // Lookup finds an experiment by ID in O(1).

@@ -31,6 +31,8 @@ func mlpDims(s Scale) (sets, epochCap int, cfg victim.MLPVictimConfig) {
 }
 
 // mlpHiddenSizes is Table II's sweep.
+//
+//spylint:allow detrand effectively const: never written after initialization
 var mlpHiddenSizes = []int{64, 128, 256, 512}
 
 // recordMLPGram trains one MLP victim under the monitor.
@@ -102,7 +104,12 @@ func Fig13(p Params) (*Result, error) {
 // freeVictim returns an MLP victim's device allocations to the pool.
 func freeVictim(v *victim.MLPVictim) {
 	for _, al := range v.Proc.Space().Allocs() {
-		_ = v.Proc.Free(al.Base)
+		// Every base comes straight from the live allocation list, so a
+		// failed Free means the address space is corrupt — same class of
+		// invariant violation the simulator panics on everywhere else.
+		if err := v.Proc.Free(al.Base); err != nil {
+			panic(fmt.Sprintf("expt: freeing victim allocation %#x: %v", uint64(al.Base), err))
+		}
 	}
 }
 

@@ -26,7 +26,11 @@ import (
 
 // poolingDisabled turns off machine pooling in the runner (trials then
 // build every machine fresh). Test hook: the pooled-determinism tests
-// flip it to prove pooled and fresh runs are byte-identical.
+// flip it to prove pooled and fresh runs are byte-identical — which is
+// also why it cannot perturb results: either setting must produce the
+// same bytes, and TestPoolingObservablyInvisible pins that.
+//
+//spylint:allow detrand test hook; pooled and fresh runs are proven byte-identical
 var poolingDisabled bool
 
 // newTrialPool returns the machine pool for one trial worker, or nil

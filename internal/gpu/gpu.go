@@ -98,7 +98,9 @@ func (r *BlockReservation) Release() {
 
 // Device is one GPU in the box.
 type Device struct {
-	id  arch.DeviceID
+	//spylint:allow resetcomplete identity is fixed at construction; Reset rewinds state, not wiring
+	id arch.DeviceID
+	//spylint:allow resetcomplete config is fixed at construction, identical across trials
 	cfg Config
 	l2  *l2cache.Cache
 	mem *hbm.Stack

@@ -17,9 +17,14 @@ const RowSize = 2 << 10
 
 // Stack is one GPU's HBM.
 type Stack struct {
-	dev      arch.DeviceID
-	lineSize uint64      // bytes per L2 fill, from the machine profile
-	lat      arch.Cycles // DRAM service latency beyond the L2 lookup
+	//spylint:allow resetcomplete identity is fixed at construction; Reset rewinds state, not wiring
+	dev arch.DeviceID
+	// lineSize is the bytes per L2 fill, from the machine profile.
+	//spylint:allow resetcomplete geometry is config-derived, identical across trials
+	lineSize uint64
+	// lat is the DRAM service latency beyond the L2 lookup.
+	//spylint:allow resetcomplete latency is config-derived, identical across trials
+	lat arch.Cycles
 
 	openRow   uint64
 	haveRow   bool

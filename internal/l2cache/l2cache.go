@@ -126,6 +126,7 @@ type SetStats struct {
 
 // Cache is one GPU's L2.
 type Cache struct {
+	//spylint:allow resetcomplete geometry config is fixed at construction; Reset rewinds contents
 	cfg Config
 	// ways holds every line slot as one flat array (set i occupies
 	// ways[i*Ways:(i+1)*Ways]): one allocation per cache instead of
@@ -140,10 +141,16 @@ type Cache struct {
 	fills     uint64
 	evictions uint64
 
+	//spylint:allow resetcomplete derived geometry, recomputed only when cfg changes
 	lineShift int
-	setMask   uint64
-	pageLines uint64 // lines per page
-	regions   uint64 // sets / linesPerPage, >=1
+	//spylint:allow resetcomplete derived geometry, recomputed only when cfg changes
+	setMask uint64
+	// pageLines is the number of lines per page.
+	//spylint:allow resetcomplete derived geometry, recomputed only when cfg changes
+	pageLines uint64
+	// regions is sets / linesPerPage, >=1.
+	//spylint:allow resetcomplete derived geometry, recomputed only when cfg changes
+	regions uint64
 }
 
 // New builds a cache with the given geometry. The rng seeds random

@@ -44,7 +44,13 @@ type Options struct {
 }
 
 // Machine is the whole simulated multi-GPU box.
+//
+// Fields exempted from the resetcomplete check below are fixed by the
+// Config at construction and shared by every trial a pooled machine
+// runs: the pool keys leases by config, so Reset(seed) rewinds state
+// derived from the seed and leaves config-derived fields in place.
 type Machine struct {
+	//spylint:allow resetcomplete profile is part of the pool key, identical across leases
 	prof    arch.Profile
 	devices []*gpu.Device
 	topo    *nvlink.Topology
@@ -54,11 +60,19 @@ type Machine struct {
 	jitter *xrand.Source
 	root   *xrand.Source
 
-	lat           arch.LatencyModel
-	lineSize      int // L2 line bytes, from the cache geometry
-	noiseOff      bool
-	hasFabric     bool // gates burst tallying off the p100 hot path
-	contSigmaPer  float64
+	//spylint:allow resetcomplete latency model is config-derived, identical across leases
+	lat arch.LatencyModel
+	// lineSize is the L2 line width in bytes, from the cache geometry.
+	//spylint:allow resetcomplete geometry is config-derived, identical across leases
+	lineSize int
+	//spylint:allow resetcomplete noise switch is part of the pool key
+	noiseOff bool
+	// hasFabric gates burst tallying off the p100 hot path.
+	//spylint:allow resetcomplete topology flag is config-derived, identical across leases
+	hasFabric bool
+	//spylint:allow resetcomplete contention sigma is config-derived, identical across leases
+	contSigmaPer float64
+	//spylint:allow resetcomplete MIG layout is part of the pool key
 	migPartitions int
 
 	// peerEnabled[src][dst]: src may access memory homed on dst.
@@ -453,6 +467,8 @@ func (w *Worker) TouchCGHit(pa arch.PA) (arch.Cycles, bool) {
 // The returned slice is the worker's own scratch buffer: it is valid
 // until this worker's next ProbeLines/ProbeLinesHits call, and callers
 // that retain latencies across probes must copy them out.
+//
+//spylint:scratch
 func (w *Worker) ProbeLines(pas []arch.PA) (lats []arch.Cycles, total arch.Cycles) {
 	lats, _, total = w.ProbeLinesHits(pas)
 	return lats, total
@@ -461,6 +477,8 @@ func (w *Worker) ProbeLines(pas []arch.PA) (lats []arch.Cycles, total arch.Cycle
 // ProbeLinesHits is ProbeLines plus the per-line ground-truth hit
 // flags. Both returned slices are worker-owned scratch with the same
 // lifetime rule as ProbeLines.
+//
+//spylint:scratch
 func (w *Worker) ProbeLinesHits(pas []arch.PA) (lats []arch.Cycles, hits []bool, total arch.Cycles) {
 	req := &w.req
 	req.kind = opProbe

@@ -115,6 +115,7 @@ func (p *MachinePool) Recycle() {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	//spylint:allow detrand free-list order is unobservable: Get resets every machine before reuse
 	for m, key := range p.leased {
 		delete(p.leased, m)
 		p.free[key] = append(p.free[key], m)

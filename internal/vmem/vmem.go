@@ -110,6 +110,10 @@ func (p *PhysMem) Reset() {
 	for i := range p.used {
 		clear(p.used[i])
 	}
+	// The free list's order is unobservable: recycled buffers are
+	// zeroed page by page on reuse (page() clears before handing out),
+	// so which buffer backs which frame next trial cannot leak.
+	//spylint:allow detrand recycle-list order is unobservable, buffers are zeroed on reuse
 	for fn, b := range p.backing {
 		p.free = append(p.free, b)
 		delete(p.backing, fn)

@@ -166,17 +166,26 @@ func (r *Result) Lines() []string {
 
 // Print writes the full text report: header, record texts in order,
 // and the sorted metrics block. This rendering is pinned byte-for-byte
-// by the repository's golden tests.
-func (r *Result) Print(w io.Writer) {
-	fmt.Fprintf(w, "=== %s — %s ===\n", r.ID, r.Title)
-	for _, rec := range r.Records {
-		fmt.Fprintln(w, rec.Text)
-	}
-	if len(r.Metrics) > 0 {
-		fmt.Fprintln(w, "metrics:")
-		for _, m := range r.MetricList() {
-			fmt.Fprintf(w, "  %-32s %g\n", m.Key, m.Value)
+// by the repository's golden tests. It returns the first write error:
+// a report truncated by a full disk or closed pipe must not pass
+// silently for a caller saving artifacts.
+func (r *Result) Print(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
-	fmt.Fprintln(w)
+	pf("=== %s — %s ===\n", r.ID, r.Title)
+	for _, rec := range r.Records {
+		pf("%s\n", rec.Text)
+	}
+	if len(r.Metrics) > 0 {
+		pf("metrics:\n")
+		for _, m := range r.MetricList() {
+			pf("  %-32s %g\n", m.Key, m.Value)
+		}
+	}
+	pf("\n")
+	return err
 }

@@ -323,6 +323,12 @@ func (s *Session) RunJob(ctx context.Context, job JobID, ids ...string) ([]*Resu
 	if err != nil {
 		return nil, err
 	}
+	// Wall-clock use is deliberate and confined to progress events:
+	// pkg/spybox is the service layer, outside spylint's detrand
+	// deterministic-package set. Event.Elapsed feeds human-facing
+	// progress (SSE streams, CLI spinners) and never flows into
+	// experiment results — those are produced entirely inside the
+	// deterministic internal/* packages, where the wall clock is banned.
 	start := time.Now()
 	var results []*Result
 	for _, e := range todo {

@@ -1,0 +1,3 @@
+module spylint
+
+go 1.22

@@ -1,0 +1,129 @@
+// Package detrand enforces the repository's trial-determinism
+// contract inside the simulation packages: every trial must be
+// bit-identical at any -parallel, which the golden byte-identity tests
+// pin after the fact. This analyzer bans the sources of silent
+// nondeterminism before they reach a golden diff:
+//
+//   - reading the wall clock (time.Now / time.Since / time.Until) —
+//     simulated time is the only clock;
+//   - math/rand (v1 or v2) — all randomness routes through
+//     internal/xrand so streams are seeded and splittable;
+//   - ranging over a map — iteration order varies run to run;
+//   - package-level `var` declarations — shared mutable state lets one
+//     trial perturb another.
+//
+// Benign cases (a map range whose order provably cannot be observed, a
+// test hook) carry `//spylint:allow detrand <reason>` on the line.
+// Test files are exempt: the invariant protects simulation results,
+// and tests exercise determinism rather than produce it.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spylint/internal/framework"
+)
+
+// Packages is the deterministic set: exactly the simulation packages
+// whose behaviour the golden byte-identity tests cover (the root
+// module's TestDetPackagesMatchGoldenCoverage pins this list against
+// the golden tests' actual import graph). Service-layer packages
+// (pkg/spybox, cmd/...) are deliberately outside the set: they report
+// wall-clock progress and talk to the OS, and determinism there is
+// neither promised nor tested.
+var Packages = []string{
+	"spybox/internal/sim",
+	"spybox/internal/l2cache",
+	"spybox/internal/nvlink",
+	"spybox/internal/gpu",
+	"spybox/internal/hbm",
+	"spybox/internal/vmem",
+	"spybox/internal/core",
+	"spybox/internal/expt",
+}
+
+var bannedImports = map[string]string{
+	"math/rand":    "use internal/xrand: all randomness must be seeded and splittable",
+	"math/rand/v2": "use internal/xrand: all randomness must be seeded and splittable",
+}
+
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock reads, math/rand, map ranges, and package-level mutable state " +
+		"in the deterministic simulation packages",
+	Run: run,
+}
+
+func run(pass *framework.Pass) {
+	det := false
+	for _, p := range Packages {
+		if pass.PkgPath == p {
+			det = true
+			break
+		}
+	}
+	if !det {
+		return
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		checkFile(pass, file)
+	}
+}
+
+func isTestFile(pass *framework.Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+func checkFile(pass *framework.Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if why, ok := bannedImports[path]; ok {
+			pass.Reportf(imp.Pos(), "deterministic package imports %s; %s", path, why)
+		}
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok.String() != "var" {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if name.Name == "_" {
+					continue // interface-compliance assertions are immutable
+				}
+				pass.Reportf(name.Pos(),
+					"package-level var %s is mutable state in a deterministic package; move it into a seeded struct or annotate why it cannot perturb trials", name.Name)
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if fn, ok := pass.Info.Uses[n].(*types.Func); ok {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"deterministic package reads the wall clock (time.%s); simulated cycles are the only clock here", fn.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"range over a map has nondeterministic iteration order; iterate a sorted slice or annotate why the order cannot be observed")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,167 @@
+// Package droppederr flags silently discarded errors in the packages
+// where a dropped error once cost real debugging time: experiment
+// bodies and the report/render path (PR 2's attachPGM dropped render
+// errors on the floor, and the bug only surfaced as missing chart
+// artifacts much later). Within the scoped packages it reports:
+//
+//   - a call used as a statement whose results include an error;
+//   - an error result assigned to the blank identifier;
+//   - a deferred call whose error cannot be observed.
+//
+// Writes to *strings.Builder and *bytes.Buffer are exempt (their Write
+// is documented to never return a non-nil error); anything else needs
+// handling or an explicit `//spylint:allow droppederr <reason>`.
+package droppederr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spylint/internal/framework"
+)
+
+// Packages scopes the check to experiment bodies and the report/render
+// path. Repo-wide error-style enforcement is a non-goal: simulator hot
+// paths use panics for invariant violations, and the service layer has
+// its own error discipline.
+var Packages = []string{
+	"spybox/internal/expt",
+	"spybox/internal/plot",
+	"spybox/pkg/spybox/report",
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "droppederr",
+	Doc:  "flag discarded error returns in experiment bodies and the report/render path",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) {
+	scoped := false
+	for _, p := range Packages {
+		if pass.PkgPath == p {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if hasErrorResult(pass, call) && !exempt(pass, call) {
+						pass.Reportf(call.Pos(), "error result discarded; handle it or annotate why it cannot matter")
+					}
+				}
+			case *ast.DeferStmt:
+				if hasErrorResult(pass, n.Call) && !exempt(pass, n.Call) {
+					pass.Reportf(n.Call.Pos(), "deferred call discards its error; capture it in a closure or annotate why it cannot matter")
+				}
+			case *ast.AssignStmt:
+				checkBlankErr(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErr reports error results assigned to the blank identifier.
+func checkBlankErr(pass *framework.Pass, n *ast.AssignStmt) {
+	resultType := func(i int) types.Type {
+		if len(n.Rhs) == len(n.Lhs) {
+			if tv, ok := pass.Info.Types[n.Rhs[i]]; ok {
+				return tv.Type
+			}
+			return nil
+		}
+		// Tuple form: x, _ := call().
+		if len(n.Rhs) != 1 {
+			return nil
+		}
+		tv, ok := pass.Info.Types[n.Rhs[0]]
+		if !ok {
+			return nil
+		}
+		if tuple, ok := tv.Type.(*types.Tuple); ok && i < tuple.Len() {
+			return tuple.At(i).Type()
+		}
+		return nil
+	}
+	for i, lhs := range n.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if t := resultType(i); t != nil && isErrorType(t) {
+			pass.Reportf(id.Pos(), "error explicitly discarded with _; handle it or annotate why it cannot matter")
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func hasErrorResult(pass *framework.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// exempt reports whether the call's error is one that cannot be
+// non-nil: a method on *strings.Builder / *bytes.Buffer, or an
+// fmt.Fprint* writing to one of those.
+func exempt(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		return isInfallibleWriter(recv.Type())
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		if tv, ok := pass.Info.Types[call.Args[0]]; ok {
+			return isInfallibleWriter(tv.Type)
+		}
+	}
+	return false
+}
+
+func isInfallibleWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}

@@ -1,0 +1,201 @@
+// Package framework is the minimal analysis framework spylint runs
+// on. It deliberately mirrors the shape of golang.org/x/tools/go/
+// analysis (Analyzer, Pass, Report) so the analyzers read idiomatically
+// — but it is implemented on the standard library only, because this
+// repository builds in environments with no module proxy access. Two
+// drivers feed it: vetunit.go speaks the `go vet -vettool=` protocol
+// (the build system supplies parsed file lists and compiler export
+// data), and standalone.go loads packages itself via `go list -deps
+// -export -json` (used by the test harness and ad-hoc runs).
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check.
+type Analyzer struct {
+	// Name is the directive name: `//spylint:allow <Name> <reason>`
+	// suppresses this analyzer's diagnostics on the annotated line.
+	Name string
+	// Doc is a one-paragraph description (shown by `spylint help`).
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass)
+	// ExportsFacts marks analyzers that publish per-package facts
+	// (strings) consumed by dependent packages' passes. Only these
+	// run on dependency-only ("vetx only") compilation units.
+	ExportsFacts bool
+}
+
+// A Pass holds one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the import path with any test-variant suffix
+	// ("pkg [pkg.test]") stripped, so path-scoped analyzers match the
+	// unit `go vet` builds for packages that have in-package tests.
+	PkgPath string
+
+	imported map[string]bool // facts from dependencies, this analyzer
+	exported map[string]bool // facts this pass published
+	diags    *[]Diagnostic
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (spylint:%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos. Findings carrying an
+// `//spylint:allow` directive on their line (or the line above) are
+// filtered out by the driver after the pass completes.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// HasFact reports whether id was published by this analyzer in any
+// dependency of the current package (or earlier in this pass).
+func (p *Pass) HasFact(id string) bool {
+	return p.imported[id] || p.exported[id]
+}
+
+// ExportFact publishes id to passes over packages that import this one.
+func (p *Pass) ExportFact(id string) {
+	p.exported[id] = true
+}
+
+// Facts maps analyzer name -> sorted fact IDs. This is the JSON payload
+// of the per-package .vetx files the vet driver exchanges with the
+// build system, and the in-memory currency of the standalone driver.
+// Each unit's output re-exports everything it imported, so the build
+// system only ever needs to supply direct dependencies' files.
+type Facts map[string][]string
+
+// merge returns the union of a and b.
+func mergeFacts(a, b Facts) Facts {
+	if len(b) == 0 {
+		return a
+	}
+	out := Facts{}
+	seen := map[string]map[string]bool{}
+	for _, f := range []Facts{a, b} {
+		for name, ids := range f {
+			if seen[name] == nil {
+				seen[name] = map[string]bool{}
+			}
+			for _, id := range ids {
+				seen[name][id] = true
+			}
+		}
+	}
+	for name, set := range seen {
+		ids := make([]string, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		out[name] = ids
+	}
+	return out
+}
+
+// NormalizePkgPath strips the " [pkg.test]" variant suffix `go vet`
+// uses for compilation units that include in-package test files.
+func NormalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// AnalyzeUnit runs every applicable analyzer over one type-checked
+// package and returns the surviving diagnostics (allow-directives
+// applied, _test.go positions untouched — analyzers decide file scope
+// themselves) plus the unit's outgoing facts (own ∪ imported).
+//
+// When factsOnly is set (the unit is a dependency being analyzed for
+// facts, not a vet target) only fact-exporting analyzers run and no
+// diagnostics are returned.
+func AnalyzeUnit(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
+	pkgPath string, analyzers []*Analyzer, imported Facts, factsOnly bool) ([]Diagnostic, Facts) {
+
+	var diags []Diagnostic
+	own := Facts{}
+	for _, a := range analyzers {
+		if factsOnly && !a.ExportsFacts {
+			continue
+		}
+		imp := map[string]bool{}
+		for _, id := range imported[a.Name] {
+			imp[id] = true
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			PkgPath:  NormalizePkgPath(pkgPath),
+			imported: imp,
+			exported: map[string]bool{},
+			diags:    &diags,
+		}
+		a.Run(pass)
+		if len(pass.exported) > 0 {
+			ids := make([]string, 0, len(pass.exported))
+			for id := range pass.exported {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			own[a.Name] = ids
+		}
+	}
+	out := mergeFacts(own, imported)
+	if factsOnly {
+		return nil, out
+	}
+
+	// Apply //spylint:allow directives and validate their grammar.
+	dirs := collectDirectives(fset, files)
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	diags = append(diags, dirs.problems(known)...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !dirs.allowed(d.Analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, out
+}

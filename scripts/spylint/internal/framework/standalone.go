@@ -1,0 +1,126 @@
+// The standalone driver: loads packages with `go list -deps -export
+// -json`, type-checks them against the compiler export data the list
+// step produced, and runs the analyzers over every requested (root)
+// package, with facts flowing dependency-first in memory. The test
+// harness drives analyzers through this path; `spylint ./...` from a
+// module directory uses it too.
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+}
+
+// RunStandalone loads the packages matched by patterns (resolved in
+// dir, "" meaning the current directory) and runs the analyzers over
+// every non-dependency match. It returns the surviving diagnostics.
+func RunStandalone(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Imports,Export,DepOnly,Standard,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	var pkgs []*listPackage
+	exports := map[string]string{} // package path -> export data file
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	compilerImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var diags []Diagnostic
+	facts := map[string]Facts{} // package path -> published facts
+	// `go list -deps` emits packages in dependency order, so by the
+	// time a package is type-checked every import's facts are known.
+	for _, p := range pkgs {
+		if p.Standard {
+			continue // no spylint annotations in the standard library
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: spylint does not support cgo packages", p.ImportPath)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		tc := &types.Config{
+			Importer: importerFunc(func(path string) (*types.Package, error) {
+				return compilerImporter.Import(path)
+			}),
+			Sizes: types.SizesFor("gc", build.Default.GOARCH),
+		}
+		if p.Module != nil && p.Module.GoVersion != "" {
+			tc.GoVersion = "go" + p.Module.GoVersion
+		}
+		info := newTypesInfo()
+		pkg, err := tc.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		imported := Facts{}
+		for _, imp := range p.Imports {
+			imported = mergeFacts(imported, facts[imp])
+		}
+		ds, out := AnalyzeUnit(fset, files, pkg, info, p.ImportPath, analyzers, imported, p.DepOnly)
+		facts[p.ImportPath] = out
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

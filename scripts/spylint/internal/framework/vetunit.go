@@ -1,0 +1,195 @@
+// The `go vet -vettool=` driver. The build system invokes the tool
+// once per compilation unit with a JSON config file naming the Go
+// sources, the compiler export data of every dependency, and the fact
+// files of already-vetted dependencies; the tool type-checks the unit,
+// runs the analyzers, writes its own fact file, and reports findings
+// on stderr (exit 1). Dependencies are visited in "vetx only" mode:
+// facts only, no diagnostics — exactly the contract
+// golang.org/x/tools/go/analysis/unitchecker implements, rebuilt here
+// on the standard library alone.
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+)
+
+// VetConfig is the JSON compilation-unit description `go vet` writes
+// (cmd/go/internal/work.buildVetConfig); field names are the protocol.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit analyzes the unit described by cfgPath and exits the
+// process with the protocol's status code.
+func RunVetUnit(cfgPath string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("spylint: cannot decode vet config %s: %v", cfgPath, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		log.Fatalf("spylint: package %s has no Go files", cfg.ImportPath)
+	}
+
+	imported := readImportedFacts(cfg.PackageVetx)
+
+	srcs := make(map[string][]byte, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srcs[name] = b
+	}
+
+	// Dependency units only publish facts, and facts only come from
+	// //spylint: annotations — if no source mentions the marker and
+	// there is nothing new to learn, re-export the imported facts
+	// without paying for a parse and type-check. This keeps the first
+	// `go vet -vettool` sweep over the standard library cheap.
+	if cfg.VetxOnly && !anyScratchMarker(srcs) {
+		writeFacts(cfg.VetxOutput, imported)
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, srcs[name], parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeFacts(cfg.VetxOutput, imported)
+				os.Exit(0)
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeFacts(cfg.VetxOutput, imported)
+			os.Exit(0)
+		}
+		log.Fatalf("spylint: %v", err)
+	}
+
+	diags, out := AnalyzeUnit(fset, files, pkg, info, cfg.ImportPath, analyzers, imported, cfg.VetxOnly)
+	writeFacts(cfg.VetxOutput, out)
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// newTypesInfo allocates the full set of type-checker result maps the
+// analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+func anyScratchMarker(srcs map[string][]byte) bool {
+	marker := []byte("spylint:scratch")
+	for _, b := range srcs {
+		if bytes.Contains(b, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// readImportedFacts loads and merges the fact files of every vetted
+// dependency. A missing or malformed file contributes nothing: facts
+// are an accelerant for cross-package checks, not a correctness gate,
+// and dependency units from older tool versions must not wedge a vet.
+func readImportedFacts(pkgVetx map[string]string) Facts {
+	merged := Facts{}
+	for _, file := range pkgVetx {
+		b, err := os.ReadFile(file)
+		if err != nil || len(b) == 0 {
+			continue
+		}
+		var f Facts
+		if json.Unmarshal(b, &f) != nil {
+			continue
+		}
+		merged = mergeFacts(merged, f)
+	}
+	return merged
+}
+
+func writeFacts(path string, f Facts) {
+	if path == "" {
+		return
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o666); err != nil {
+		log.Fatal(err)
+	}
+}

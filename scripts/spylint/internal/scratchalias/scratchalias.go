@@ -1,0 +1,346 @@
+// Package scratchalias enforces the probe-scratch lifetime contract:
+// sim.Worker.ProbeLines / ProbeLinesHits return slices that alias
+// worker-owned scratch storage, valid only until that worker's next
+// probe call. Retaining such a slice — storing it in a struct field or
+// package variable, appending it into a longer-lived slice, sending it
+// on a channel, or returning it from a function not itself declared
+// scratch-returning — silently corrupts earlier samples when the
+// buffer is rewritten.
+//
+// Scratch-returning functions are identified by a seed list (the sim
+// probe methods) plus the `//spylint:scratch` doc-comment directive on
+// wrappers (e.g. cudart.Kernel.ProbeSet); the directive is exported as
+// a package fact so the check follows wrappers across package
+// boundaries. A clone (`append([]T(nil), s...)`, `copy`, explicit
+// loop) launders the taint; anything else needs
+// `//spylint:allow scratchalias <reason>`.
+package scratchalias
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spylint/internal/framework"
+)
+
+// seeds are the root scratch-returning functions, identified by the
+// same ID grammar the facts use: "(pkgpath.Type).Method" or
+// "pkgpath.Func".
+var seeds = map[string]bool{
+	"(spybox/internal/sim.Worker).ProbeLines":     true,
+	"(spybox/internal/sim.Worker).ProbeLinesHits": true,
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "scratchalias",
+	Doc: "probe-scratch return values (ProbeLines and //spylint:scratch functions) must not " +
+		"outlive the next probe call: no stores to fields/globals, no append into long-lived " +
+		"slices, no un-annotated returns",
+	Run:          run,
+	ExportsFacts: true,
+}
+
+func run(pass *framework.Pass) {
+	// First pass: publish facts for every //spylint:scratch function in
+	// this package (plus re-seed, so sim's own methods are facts too).
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			id := declID(pass, fd)
+			if id == "" {
+				continue
+			}
+			if framework.HasScratchDirective(fd) || seeds[id] {
+				pass.ExportFact(id)
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+}
+
+// isScratchFunc reports whether the called function is known to return
+// receiver-owned scratch (seed, local/imported fact).
+func isScratchFunc(pass *framework.Pass, fn *types.Func) bool {
+	id := funcID(fn)
+	return id != "" && (seeds[id] || pass.HasFact(id))
+}
+
+// funcID renders a *types.Func as a stable cross-package identifier.
+func funcID(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return "(" + framework.NormalizePkgPath(named.Obj().Pkg().Path()) + "." +
+			named.Obj().Name() + ")." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return framework.NormalizePkgPath(fn.Pkg().Path()) + "." + fn.Name()
+}
+
+// declID renders a declared function as the same identifier funcID
+// produces for calls to it.
+func declID(pass *framework.Pass, fd *ast.FuncDecl) string {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return funcID(obj)
+}
+
+// checker tracks, within one function body, which local variables
+// currently alias probe scratch.
+type checker struct {
+	pass    *framework.Pass
+	scratch bool // the enclosing function is itself scratch-returning
+	tainted map[types.Object]bool
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	c := &checker{
+		pass:    pass,
+		scratch: framework.HasScratchDirective(fd) || seeds[declID(pass, fd)],
+		tainted: map[types.Object]bool{},
+	}
+	// Seed taint to a fixpoint: `a := w.ProbeLines(...)`, then `b := a`,
+	// possibly declared out of source order inside nested blocks.
+	for {
+		before := len(c.tainted)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				c.propagate(as)
+			}
+			return true
+		})
+		if len(c.tainted) == before {
+			break
+		}
+	}
+	c.report(fd)
+}
+
+// propagate taints LHS locals whose RHS aliases scratch.
+func (c *checker) propagate(as *ast.AssignStmt) {
+	taintLHS := func(lhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := c.pass.Info.Defs[id]
+		if obj == nil {
+			obj = c.pass.Info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok && !isPackageLevel(v) && isRefType(v.Type()) {
+			c.tainted[v] = true
+		}
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			if c.aliasesScratch(rhs) {
+				taintLHS(as.Lhs[i])
+			}
+		}
+		return
+	}
+	// Tuple form: a, b := call(). Taint every reference-typed LHS when
+	// the call is scratch-returning.
+	if len(as.Rhs) == 1 && c.aliasesScratch(as.Rhs[0]) {
+		for _, lhs := range as.Lhs {
+			taintLHS(lhs)
+		}
+	}
+}
+
+// aliasesScratch reports whether evaluating e yields a value aliasing
+// probe scratch: a scratch call, a tainted variable, a slice/paren of
+// either, or an append whose base (arg 0) aliases scratch. An append
+// onto a fresh base (`append([]T(nil), s...)`) copies and is clean.
+func (c *checker) aliasesScratch(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.aliasesScratch(e.X)
+	case *ast.SliceExpr:
+		return c.aliasesScratch(e.X)
+	case *ast.Ident:
+		obj := c.pass.Info.Uses[e]
+		return obj != nil && c.tainted[obj]
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return c.aliasesScratch(e.Args[0])
+			}
+		}
+		if fn := calleeFunc(c.pass, e); fn != nil {
+			return isScratchFunc(c.pass, fn)
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call's static callee, or nil for builtins,
+// conversions, and indirect calls.
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// report walks the body flagging every way a scratch alias can outlive
+// the probe window.
+func (c *checker) report(fd *ast.FuncDecl) {
+	pass := c.pass
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.checkStores(n)
+		case *ast.ReturnStmt:
+			if c.scratch {
+				break // declared scratch-returning: aliasing is the contract
+			}
+			for _, res := range n.Results {
+				if c.aliasesScratch(res) {
+					pass.Reportf(res.Pos(),
+						"returning probe scratch extends its lifetime past the caller's next probe; copy it (append([]T(nil), s...)) or declare this function //spylint:scratch")
+				}
+			}
+		case *ast.SendStmt:
+			if c.aliasesScratch(n.Value) {
+				pass.Reportf(n.Value.Pos(),
+					"sending probe scratch on a channel lets it outlive the next probe call; send a copy")
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if c.aliasesScratch(v) {
+					pass.Reportf(v.Pos(),
+						"probe scratch captured in a composite literal may outlive the next probe call; store a copy")
+				}
+			}
+		case *ast.CallExpr:
+			c.checkAppendArgs(n)
+		}
+		return true
+	})
+}
+
+// checkStores flags assignments that park a scratch alias somewhere
+// longer-lived than a local: a struct field, a package-level variable,
+// or through a pointer / into an existing slice or map.
+func (c *checker) checkStores(as *ast.AssignStmt) {
+	rhsAliases := func(i int) bool {
+		if len(as.Lhs) == len(as.Rhs) {
+			return c.aliasesScratch(as.Rhs[i])
+		}
+		return len(as.Rhs) == 1 && c.aliasesScratch(as.Rhs[0])
+	}
+	for i, lhs := range as.Lhs {
+		if !rhsAliases(i) {
+			continue
+		}
+		switch l := lhs.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := c.pass.Info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+				c.pass.Reportf(l.Pos(),
+					"storing probe scratch in field %s outlives the next probe call; store a copy (append([]T(nil), s...))", l.Sel.Name)
+			} else if obj, ok := c.pass.Info.Uses[l.Sel].(*types.Var); ok && isPackageLevel(obj) {
+				c.pass.Reportf(l.Pos(),
+					"storing probe scratch in package variable %s outlives the next probe call; store a copy", l.Sel.Name)
+			}
+		case *ast.Ident:
+			if obj, ok := objOf(c.pass, l).(*types.Var); ok && isPackageLevel(obj) {
+				c.pass.Reportf(l.Pos(),
+					"storing probe scratch in package variable %s outlives the next probe call; store a copy", l.Name)
+			}
+		case *ast.IndexExpr:
+			c.pass.Reportf(l.Pos(),
+				"storing probe scratch into an existing slice or map outlives the next probe call; store a copy")
+		case *ast.StarExpr:
+			c.pass.Reportf(l.Pos(),
+				"storing probe scratch through a pointer outlives the next probe call; store a copy")
+		}
+	}
+}
+
+// checkAppendArgs flags `append(dst, scratch)` where scratch rides
+// along as an *element* (dst is a [][]T): the slice header is retained,
+// not its contents. The spread form `append(dst, scratch...)` copies
+// elements and is clean, as is using scratch as the base (handled by
+// aliasesScratch on the enclosing assignment).
+func (c *checker) checkAppendArgs(call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return
+	}
+	if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		return // append(dst, s...) copies the elements
+	}
+	for _, arg := range call.Args[1:] {
+		if c.aliasesScratch(arg) {
+			c.pass.Reportf(arg.Pos(),
+				"appending a probe-scratch slice as an element retains its header past the next probe call; append a copy")
+		}
+	}
+}
+
+func objOf(pass *framework.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isRefType reports whether t can alias backing storage: slices, maps,
+// and pointers. Scalars copied out of scratch are always safe.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+// A package outside the deterministic set: the same constructs draw
+// no diagnostics here.
+package other
+
+import "time"
+
+var counter int
+
+func wall(m map[string]int) time.Time {
+	for range m {
+		counter++
+	}
+	return time.Now()
+}

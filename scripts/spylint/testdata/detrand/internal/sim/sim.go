@@ -1,0 +1,37 @@
+// Fixture for the detrand analyzer: this package's import path puts
+// it inside the deterministic set.
+package sim
+
+import (
+	"math/rand" // want `deterministic package imports math/rand`
+	"time"
+)
+
+var counter int // want `package-level var counter is mutable state in a deterministic package`
+
+//spylint:allow detrand test hook, proven not to perturb trials
+var allowed bool
+
+func wall() time.Duration {
+	start := time.Now()      // want `reads the wall clock \(time\.Now\)`
+	return time.Since(start) // want `reads the wall clock \(time\.Since\)`
+}
+
+func sum(m map[string]int) int {
+	s := 0
+	for k := range m { // want `range over a map has nondeterministic iteration order`
+		s += len(k)
+	}
+	//spylint:allow detrand order folds through a commutative sum
+	for _, v := range m {
+		s += v
+	}
+	return s + rand.Int()
+}
+
+func useVars() int {
+	if allowed {
+		return counter
+	}
+	return 0
+}

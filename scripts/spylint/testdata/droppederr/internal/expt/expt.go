@@ -1,0 +1,40 @@
+// Fixture for the droppederr analyzer: this package's import path puts
+// it inside the scoped set (experiment bodies).
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error         { return nil }
+func value() (int, error) { return 0, nil }
+
+func bad(f *os.File) {
+	work()          // want `error result discarded`
+	x, _ := value() // want `error explicitly discarded with _`
+	_ = x
+	defer f.Close()     // want `deferred call discards its error`
+	fmt.Fprintf(f, "x") // want `error result discarded`
+}
+
+func good(f *os.File) error {
+	var sb strings.Builder
+	var buf bytes.Buffer
+	fmt.Fprintf(&sb, "x") // infallible writer: exempt
+	sb.WriteString("y")   // infallible writer: exempt
+	buf.WriteByte('z')    // infallible writer: exempt
+	if err := work(); err != nil {
+		return err
+	}
+	//spylint:allow droppederr best-effort cleanup, result already saved
+	work()
+	n, err := value()
+	if err != nil {
+		return err
+	}
+	_ = n // non-error blank: fine
+	return f.Close()
+}

@@ -1,0 +1,3 @@
+module fixture/resetcomplete
+
+go 1.22

@@ -1,0 +1,85 @@
+// Fixture for the scratchalias analyzer: every way a probe-scratch
+// slice can escape its lifetime window, plus the clean alternatives.
+package capture
+
+import "spybox/internal/sim"
+
+type Grabber struct {
+	w    *sim.Worker
+	keep []int
+}
+
+// Wrap passes the worker's scratch through unchanged; the directive
+// hands the lifetime obligation to Wrap's own callers (and exports the
+// fact other packages check against).
+//
+//spylint:scratch
+func (g *Grabber) Wrap(pas []uint64) []int {
+	lats, _ := g.w.ProbeLines(pas)
+	return lats
+}
+
+func (g *Grabber) BadReturn(pas []uint64) []int {
+	lats, _ := g.w.ProbeLines(pas)
+	return lats // want `returning probe scratch extends its lifetime`
+}
+
+func (g *Grabber) FieldStore(pas []uint64) {
+	lats, _ := g.w.ProbeLines(pas)
+	g.keep = lats // want `storing probe scratch in field keep`
+}
+
+var global []int
+
+func (g *Grabber) GlobalStore(pas []uint64) {
+	lats, _ := g.w.ProbeLines(pas)
+	global = lats // want `storing probe scratch in package variable global`
+}
+
+func (g *Grabber) AppendElem(pas []uint64, hist [][]int) [][]int {
+	lats, _ := g.w.ProbeLines(pas)
+	return append(hist, lats) // want `appending a probe-scratch slice as an element`
+}
+
+func (g *Grabber) Send(pas []uint64, ch chan []int) {
+	lats, _ := g.w.ProbeLines(pas)
+	ch <- lats // want `sending probe scratch on a channel`
+}
+
+func (g *Grabber) Lit(pas []uint64) [][]int {
+	lats, _ := g.w.ProbeLines(pas)
+	return [][]int{lats} // want `probe scratch captured in a composite literal`
+}
+
+// Clone copies the scratch out: append onto a fresh base launders the
+// taint, so returning the clone is clean.
+func (g *Grabber) Clone(pas []uint64) []int {
+	lats, _ := g.w.ProbeLines(pas)
+	return append([]int(nil), lats...)
+}
+
+// Reslice keeps the alias: slicing scratch is still scratch.
+func (g *Grabber) Reslice(pas []uint64) []int {
+	lats, _ := g.w.ProbeLines(pas)
+	head := lats[:1]
+	return head // want `returning probe scratch extends its lifetime`
+}
+
+// Spread copies elements out of scratch into a caller-owned slice.
+func (g *Grabber) Spread(pas []uint64, dst []int) []int {
+	lats, _ := g.w.ProbeLines(pas)
+	return append(dst, lats...)
+}
+
+// Allowed documents a deliberate retention.
+func (g *Grabber) Allowed(pas []uint64) []int {
+	lats, _ := g.w.ProbeLines(pas)
+	//spylint:allow scratchalias consumed before the next probe by construction
+	return lats
+}
+
+// Scalar results of a probe are values, not aliases.
+func (g *Grabber) Total(pas []uint64) int {
+	_, total := g.w.ProbeLines(pas)
+	return total
+}

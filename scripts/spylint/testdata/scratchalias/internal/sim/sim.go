@@ -1,0 +1,19 @@
+// Fixture stand-in for the simulator's Worker: the method set matches
+// the scratchalias seed list, so ProbeLines/ProbeLinesHits here are
+// scratch-returning by definition.
+package sim
+
+type Worker struct {
+	lats []int
+	hits []bool
+}
+
+// ProbeLines returns worker-owned scratch.
+func (w *Worker) ProbeLines(pas []uint64) ([]int, int) {
+	return w.lats, len(pas)
+}
+
+// ProbeLinesHits returns worker-owned scratch.
+func (w *Worker) ProbeLinesHits(pas []uint64) ([]int, []bool, int) {
+	return w.lats, w.hits, len(pas)
+}

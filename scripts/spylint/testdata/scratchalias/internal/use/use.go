@@ -1,0 +1,18 @@
+// Cross-package fixture: capture.Wrap is scratch-returning only via
+// the //spylint:scratch fact exported by its package, so a finding
+// here proves fact propagation works.
+package use
+
+import "spybox/internal/capture"
+
+type Rec struct {
+	last []int
+}
+
+func (r *Rec) Bad(g *capture.Grabber, pas []uint64) {
+	r.last = g.Wrap(pas) // want `storing probe scratch in field last`
+}
+
+func (r *Rec) Good(g *capture.Grabber, pas []uint64) {
+	r.last = append(r.last[:0], g.Wrap(pas)...)
+}
