@@ -8,9 +8,13 @@
 //	spybox list [-json]
 //	spybox run <id>[,<id>...]|all [-seed N] [-scale SCALE] [-arch PROFILE]
 //	           [-parallel N] [-format text|json] [-out DIR] [-progress]
-//	spybox serve [-addr HOST:PORT] [-store FILE] [-workers N] [-queue N]
+//	spybox serve [-addr HOST:PORT] [-store DIR] [-workers N] [-queue N]
+//	           [-owner NAME] [-lease DUR] [-poll DUR] [-compact BYTES]
 //	spybox submit <id>[,<id>...]|all [-addr] [-seed N] [-scale SCALE] [-arch P]
 //	           [-parallel N] [-wait [-format text|json] [-progress]]
+//	spybox batch <id>[,<id>...]|all [-addr] [-seeds N,N,...] [-scales S,S,...]
+//	           [-arch P] [-parallel N] [-client NAME] [-wait] [-json]
+//	spybox batch-status <batch> [-addr] [-json]
 //	spybox status <job> [-addr] [-json]
 //	spybox wait <job> [-addr] [-format text|json] [-progress]
 //
@@ -70,6 +74,14 @@ func main() {
 		if err := submitCmd(os.Args[2:]); err != nil {
 			fail(err)
 		}
+	case "batch":
+		if err := batchCmd(os.Args[2:]); err != nil {
+			fail(err)
+		}
+	case "batch-status":
+		if err := batchStatusCmd(os.Args[2:]); err != nil {
+			fail(err)
+		}
 	case "status":
 		if err := statusCmd(os.Args[2:]); err != nil {
 			fail(err)
@@ -95,8 +107,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   spybox list [-json]
   spybox run <id>[,<id>...]|all [-seed N] [-scale `+strings.Join(spybox.ScaleNames(), "|")+`] [-arch PROFILE] [-parallel N] [-format text|json] [-out DIR] [-progress]
-  spybox serve [-addr HOST:PORT] [-store FILE] [-workers N] [-queue N] [-drain DUR]
+  spybox serve [-addr HOST:PORT] [-store DIR] [-workers N] [-queue N] [-drain DUR] [-owner NAME] [-lease DUR] [-poll DUR] [-compact BYTES] [-batch-limit N]
   spybox submit <id>[,<id>...]|all [-addr HOST:PORT] [-seed N] [-scale SCALE] [-arch PROFILE] [-parallel N] [-wait [-format text|json] [-progress]]
+  spybox batch <id>[,<id>...]|all [-addr HOST:PORT] [-seeds N,N,...] [-scales S,S,...] [-arch PROFILE] [-parallel N] [-client NAME] [-wait] [-json]
+  spybox batch-status <batch> [-addr HOST:PORT] [-json]
   spybox status <job> [-addr HOST:PORT] [-json]
   spybox wait <job> [-addr HOST:PORT] [-format text|json] [-progress]`)
 }

@@ -92,6 +92,12 @@ type JobSpec struct {
 	// value, which is why Parallel is excluded from the result cache
 	// key.
 	Parallel int `json:"parallel,omitempty"`
+	// Client optionally names the submitter. The service schedules
+	// round-robin across clients (jobs without one share the
+	// "interactive" slot, batch jobs default to their batch ID), so a
+	// thousand-job sweep cannot starve other submitters. Client never
+	// affects results and is excluded from the result cache key.
+	Client string `json:"client,omitempty"`
 }
 
 // JobStatus is the observable state of a job. Progress counts whole
@@ -106,6 +112,9 @@ type JobStatus struct {
 	Total     int      `json:"total"` // experiments requested, after ExpandIDs
 	CacheHits int      `json:"cache_hits,omitempty"`
 	Error     string   `json:"error,omitempty"` // failure or interruption cause, on terminal states
+	// Batch groups the jobs expanded from one POST /v1/jobs:batch
+	// sweep; empty for directly submitted jobs.
+	Batch string `json:"batch,omitempty"`
 }
 
 // ErrNoJob is returned (possibly wrapped) by JobService methods given

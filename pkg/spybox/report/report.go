@@ -189,3 +189,55 @@ func (r *Result) Print(w io.Writer) error {
 	pf("\n")
 	return err
 }
+
+// Clone returns a deep copy of the result: mutating the copy (its
+// records, fields, series points, metrics, or artifact bytes) never
+// touches the original. Stores and caches hand Clones across their
+// read boundary so persisted state cannot be edited behind their
+// back. Field values are the JSON-friendly scalars the model
+// documents (string, bool, numbers), so copying the Field struct
+// copies the value.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	out := &Result{ID: r.ID, Title: r.Title}
+	if r.Records != nil {
+		out.Records = make([]Record, len(r.Records))
+		for i, rec := range r.Records {
+			out.Records[i] = rec
+			if rec.Fields != nil {
+				out.Records[i].Fields = append([]Field(nil), rec.Fields...)
+			}
+		}
+	}
+	if r.Series != nil {
+		out.Series = make([]Series, len(r.Series))
+		for i, s := range r.Series {
+			out.Series[i] = Series{
+				Name: s.Name,
+				X:    append([]float64(nil), s.X...),
+				Y:    append([]float64(nil), s.Y...),
+			}
+		}
+	}
+	if r.Metrics != nil {
+		out.Metrics = make(map[string]float64, len(r.Metrics))
+		for k, v := range r.Metrics {
+			out.Metrics[k] = v
+		}
+	}
+	if r.Units != nil {
+		out.Units = make(map[string]string, len(r.Units))
+		for k, v := range r.Units {
+			out.Units[k] = v
+		}
+	}
+	if r.Artifacts != nil {
+		out.Artifacts = make(map[string][]byte, len(r.Artifacts))
+		for k, v := range r.Artifacts {
+			out.Artifacts[k] = append([]byte(nil), v...)
+		}
+	}
+	return out
+}

@@ -74,9 +74,18 @@ func (c *Cache) Get(key string) (*report.Result, bool) {
 	results, err := report.Decode(bytes.NewReader(b))
 	if err != nil || len(results) != 1 {
 		// An undecodable entry can only mean cache corruption; treat
-		// it as a miss and drop it rather than serving garbage.
+		// it as a miss and drop it rather than serving garbage. The
+		// key must leave order too: a dangling order entry would be
+		// re-appended by the next Put of this key, and each repeat of
+		// that cycle would grow order by one forever.
 		c.mu.Lock()
 		delete(c.entries, key)
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
 		c.mu.Unlock()
 		c.misses.Add(1)
 		return nil, false

@@ -53,6 +53,56 @@ func TestCacheHitMissCountersAndIsolation(t *testing.T) {
 	}
 }
 
+// TestCacheCorruptedEntryDropKeepsOrderBounded is the regression test
+// for the order-list leak: dropping a corrupted entry on Get used to
+// leave its key in the FIFO order list, so each corrupt→drop→re-Put
+// cycle grew the list by one forever (and eviction accounting drifted
+// with it).
+func TestCacheCorruptedEntryDropKeepsOrderBounded(t *testing.T) {
+	c := NewCacheSize(4)
+	key := CacheKey(1, "small", "p100-dgx1", "fig4")
+	for cycle := 0; cycle < 10; cycle++ {
+		if err := c.Put(key, report.New("fig4", "t")); err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt the stored bytes in place, as disk rot or a codec
+		// bug would.
+		c.mu.Lock()
+		c.entries[key] = []byte("not a report document")
+		c.mu.Unlock()
+		if _, ok := c.Get(key); ok {
+			t.Fatal("corrupted entry served")
+		}
+		if c.Len() != 0 {
+			t.Fatalf("cycle %d: corrupted entry not dropped (Len %d)", cycle, c.Len())
+		}
+		c.mu.Lock()
+		orderLen := len(c.order)
+		c.mu.Unlock()
+		if orderLen != 0 {
+			t.Fatalf("cycle %d: dropped key still in order (len %d)", cycle, orderLen)
+		}
+	}
+	// The cache still works and evicts correctly after the churn.
+	put := func(seed uint64) string {
+		k := CacheKey(seed, "small", "p100-dgx1", "fig4")
+		if err := c.Put(k, report.New("fig4", "t")); err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	keys := []string{put(1), put(2), put(3), put(4), put(5)}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d after overflow, want 4", c.Len())
+	}
+	if _, ok := c.Get(keys[0]); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := c.Get(keys[4]); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
 func TestCacheEvictsOldestAtLimit(t *testing.T) {
 	c := NewCacheSize(2)
 	put := func(seed uint64) string {

@@ -103,6 +103,44 @@ func (c *Client) Submit(spec spybox.JobSpec) (spybox.JobID, error) {
 	return status.ID, nil
 }
 
+// SubmitBatch submits a sweep (POST /v1/jobs:batch); the server
+// expands it into one job per experiment × scale × seed combination.
+func (c *Client) SubmitBatch(spec BatchSpec) (BatchStatus, error) {
+	var st BatchStatus
+	err := c.do(http.MethodPost, "/v1/jobs:batch", spec, &st)
+	return st, err
+}
+
+// Batch fetches a batch's member jobs and census (GET /v1/batches/{id}).
+func (c *Client) Batch(id string) (BatchStatus, error) {
+	var st BatchStatus
+	err := c.do(http.MethodGet, "/v1/batches/"+id, nil, &st)
+	return st, err
+}
+
+// WaitBatch polls until every job in the batch is terminal (or ctx
+// ends), with the same gentle backoff as Wait.
+func (c *Client) WaitBatch(ctx context.Context, id string) (BatchStatus, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	delay := 25 * time.Millisecond
+	for {
+		st, err := c.Batch(id)
+		if err != nil || st.Terminal() {
+			return st, err
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > 500*time.Millisecond {
+			delay = 500 * time.Millisecond
+		}
+	}
+}
+
 // Job implements spybox.JobService.
 func (c *Client) Job(id spybox.JobID) (spybox.JobStatus, error) {
 	var status spybox.JobStatus

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package service
+
+import (
+	"errors"
+	"os"
+)
+
+// Cross-process store sharing relies on flock, which this platform
+// does not provide; LogStore refuses to open rather than running a
+// fleet without mutual exclusion.
+func flockExclusive(f *os.File) error {
+	return errors.New("service: shared job stores require flock, unavailable on this platform")
+}
+
+func funlock(f *os.File) error { return nil }

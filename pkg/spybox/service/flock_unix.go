@@ -1,0 +1,28 @@
+//go:build unix
+
+package service
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes an exclusive advisory lock on f, blocking until
+// it is available. flock locks are per open file description, so two
+// LogStores in one process (as in tests) exclude each other exactly
+// like two processes do.
+func flockExclusive(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("service: locking %s: %w", f.Name(), err)
+	}
+	return nil
+}
+
+// funlock releases the lock taken by flockExclusive.
+func funlock(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN); err != nil {
+		return fmt.Errorf("service: unlocking %s: %w", f.Name(), err)
+	}
+	return nil
+}

@@ -4,12 +4,14 @@
 // events for progress.
 //
 //	POST   /v1/jobs             submit a JobSpec        -> 202 JobStatus
+//	POST   /v1/jobs:batch       submit a BatchSpec      -> 202 BatchStatus
 //	GET    /v1/jobs             list jobs               -> 200 [JobStatus]
 //	GET    /v1/jobs/{id}        one job                 -> 200 JobStatus
 //	DELETE /v1/jobs/{id}        cancel + forget         -> 204
 //	POST   /v1/jobs/{id}/cancel cancel, keep the record -> 200 JobStatus
 //	GET    /v1/jobs/{id}/result report/v1 document      -> 200 (409 until terminal)
 //	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/batches/{id}     batch census            -> 200 BatchStatus
 //	GET    /v1/experiments      registry metadata       -> 200 [ExperimentInfo]
 //	GET    /v1/stats            queue + cache counters  -> 200 Stats
 
@@ -115,6 +117,10 @@ func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			writeJSON(w, http.StatusOK, st)
 		})
+	case path == "/jobs:batch":
+		h.method(w, r, http.MethodPost, func() { h.submitBatch(w, r) })
+	case strings.HasPrefix(path, "/batches/"):
+		h.method(w, r, http.MethodGet, func() { h.batch(w, path[len("/batches/"):]) })
 	case path == "/jobs":
 		switch r.Method {
 		case http.MethodPost:
@@ -184,6 +190,40 @@ func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/v1/jobs/"+string(id))
 	writeJSON(w, http.StatusAccepted, status)
+}
+
+func (h *handler) submitBatch(w http.ResponseWriter, r *http.Request) {
+	var spec BatchSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch spec: %w", err))
+		return
+	}
+	st, err := h.svc.SubmitBatch(spec)
+	if err != nil {
+		if errors.Is(err, spybox.ErrClosed) {
+			writeServiceError(w, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/batches/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (h *handler) batch(w http.ResponseWriter, id string) {
+	st, err := h.svc.Batch(id)
+	if err != nil {
+		if errors.Is(err, ErrNoBatch) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (h *handler) job(w http.ResponseWriter, r *http.Request, id spybox.JobID) {

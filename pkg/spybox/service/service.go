@@ -14,28 +14,45 @@
 // already been simulated under this schema version, which determinism
 // makes byte-identical to a fresh run. Cancellation stops a running
 // job at the next trial boundary and persists the results completed
-// so far; Close drains the pool the same way, and a FileStore brings
+// so far; Close drains the pool the same way, and a LogStore brings
 // still-queued jobs back after a restart.
+//
+// Workers do not share an in-memory queue: they Claim jobs from the
+// store under time-limited leases (see Store). That makes the store
+// the only coordination point, so any number of services — across
+// processes — can share one LogStore directory and drain one queue as
+// a fleet, each job running exactly once while its owner keeps
+// renewing, and reclaimed by a peer if the owner dies.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"spybox/pkg/spybox"
 	"spybox/pkg/spybox/report"
 )
 
+// Default claim-loop tuning; Options overrides both.
+const (
+	DefaultLeaseTTL = 10 * time.Second
+	DefaultPoll     = 250 * time.Millisecond
+)
+
 // Options parameterize New.
 type Options struct {
-	// Store persists jobs; nil means a fresh in-memory store. Every
-	// non-terminal record found in the store at startup is re-enqueued
-	// (a record still marked running belonged to a process that died
-	// mid-job; determinism makes the re-run identical).
+	// Store persists jobs; nil means a fresh in-memory store. Jobs left
+	// non-terminal by a previous process are not touched at startup —
+	// they are simply claimable (immediately if unleased, after lease
+	// expiry if their owner died mid-run) and re-run from scratch;
+	// determinism makes the re-run identical.
 	Store Store
 	// Cache is the result cache; nil means a fresh empty one.
 	Cache *Cache
@@ -45,29 +62,52 @@ type Options struct {
 	// QueueDepth bounds how many jobs may wait; <= 0 means 256.
 	// Submit fails when the queue is full rather than blocking.
 	QueueDepth int
+	// Owner names this process in the store's lease table; empty means
+	// "<hostname>-<pid>". Owners sharing a store must be distinct.
+	Owner string
+	// LeaseTTL is how long a claimed job stays this process's before a
+	// peer may reclaim it; leases are renewed every LeaseTTL/3 while
+	// the job runs. <= 0 means DefaultLeaseTTL. Shorter means faster
+	// takeover after a crash but less tolerance for stalls.
+	LeaseTTL time.Duration
+	// Poll is how often idle workers re-check the store for jobs
+	// submitted by peer processes, and waiters re-check for jobs
+	// finished by them. <= 0 means DefaultPoll. Purely local activity
+	// never waits on it.
+	Poll time.Duration
+	// BatchLimit caps how many jobs one SubmitBatch sweep may expand
+	// to; <= 0 means DefaultBatchLimit.
+	BatchLimit int
 }
 
-// jobRT is the runtime (never persisted) state of a live job.
+// jobRT is the runtime (never persisted) state of a job this process
+// is running; it exists from claim to terminal write.
 type jobRT struct {
-	cancel context.CancelFunc             // non-nil while running
-	done   chan struct{}                  // closed on terminal state
-	subs   map[chan spybox.Event]struct{} // event subscribers (Watch)
+	cancel context.CancelFunc
+	done   chan struct{} // closed when this process is done with the job
 }
 
 // Service is the in-process JobService implementation.
 type Service struct {
-	store   Store
-	cache   *Cache
-	workers int
+	store      Store
+	cache      *Cache
+	workers    int
+	queueDepth int
+	owner      string
+	leaseTTL   time.Duration
+	poll       time.Duration
+	batchLimit int
 
 	mu     sync.Mutex
-	rt     map[spybox.JobID]*jobRT
+	rt     map[spybox.JobID]*jobRT                         // jobs running in this process
+	subs   map[spybox.JobID]map[chan spybox.Event]struct{} // Watch streams
+	change chan struct{}                                   // closed+replaced on every local state change
 	seq    int
 	closed bool
 
-	queue chan spybox.JobID
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	wake chan struct{} // nudges an idle worker after Submit
+	stop chan struct{}
+	wg   sync.WaitGroup
 
 	smu      sync.Mutex
 	sessions map[sessionKey]*spybox.Session
@@ -76,8 +116,9 @@ type Service struct {
 var _ spybox.JobService = (*Service)(nil)
 
 // New builds a service over the given store and starts its worker
-// pool. Non-terminal jobs already in the store are re-enqueued in
-// submission order.
+// pool. Jobs already in the store are left as-is: workers claim the
+// runnable ones (queued, or running under an expired lease) the same
+// way they claim fresh submissions.
 func New(opts Options) (*Service, error) {
 	if opts.Store == nil {
 		opts.Store = NewMemStore()
@@ -91,14 +132,37 @@ func New(opts Options) (*Service, error) {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 256
 	}
+	if opts.Owner == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "spybox"
+		}
+		opts.Owner = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = DefaultPoll
+	}
+	if opts.BatchLimit <= 0 {
+		opts.BatchLimit = DefaultBatchLimit
+	}
 	s := &Service{
-		store:    opts.Store,
-		cache:    opts.Cache,
-		workers:  opts.Workers,
-		rt:       map[spybox.JobID]*jobRT{},
-		queue:    make(chan spybox.JobID, opts.QueueDepth),
-		stop:     make(chan struct{}),
-		sessions: map[sessionKey]*spybox.Session{},
+		store:      opts.Store,
+		cache:      opts.Cache,
+		workers:    opts.Workers,
+		queueDepth: opts.QueueDepth,
+		owner:      opts.Owner,
+		leaseTTL:   opts.LeaseTTL,
+		poll:       opts.Poll,
+		batchLimit: opts.BatchLimit,
+		rt:         map[spybox.JobID]*jobRT{},
+		subs:       map[spybox.JobID]map[chan spybox.Event]struct{}{},
+		change:     make(chan struct{}),
+		wake:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		sessions:   map[sessionKey]*spybox.Session{},
 	}
 	recs, err := s.store.List()
 	if err != nil {
@@ -106,37 +170,28 @@ func New(opts Options) (*Service, error) {
 	}
 	for _, rec := range recs {
 		// Track the highest previously assigned sequence number so
-		// restarted services never reuse an ID.
+		// restarted services never reuse an ID. (Create still guards
+		// against a peer racing past us: ErrExists just bumps seq.)
 		if n, ok := strings.CutPrefix(string(rec.Status.ID), "job-"); ok {
 			if v, err := strconv.Atoi(n); err == nil && v > s.seq {
 				s.seq = v
 			}
-		}
-		if rec.Status.State.Terminal() {
-			continue
-		}
-		if rec.Status.State == spybox.JobRunning {
-			rec.Status.State = spybox.JobQueued
-			if err := s.store.Put(rec); err != nil {
-				return nil, err
-			}
-		}
-		s.rt[rec.Status.ID] = newJobRT()
-		select {
-		case s.queue <- rec.Status.ID:
-		default:
-			return nil, fmt.Errorf("service: job store holds more queued jobs than QueueDepth %d", opts.QueueDepth)
 		}
 	}
 	for i := 0; i < s.workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.observer()
 	return s, nil
 }
 
-func newJobRT() *jobRT {
-	return &jobRT{done: make(chan struct{}), subs: map[chan spybox.Event]struct{}{}}
+// notifyChangeLocked wakes every Wait by closing the change channel
+// and installing a fresh one. Callers hold s.mu.
+func (s *Service) notifyChangeLocked() {
+	close(s.change)
+	s.change = make(chan struct{})
 }
 
 // sessionKey identifies one pooled Session by the normalized Config
@@ -203,45 +258,51 @@ func (s *Service) session(spec spybox.JobSpec) (*spybox.Session, error) {
 	return sess, nil
 }
 
-// Submit implements spybox.JobService: validate, persist as queued,
-// enqueue.
+// Submit implements spybox.JobService: validate, persist as queued
+// (Create, so an ID collision with a peer process retries with the
+// next sequence number instead of overwriting), nudge a worker.
 func (s *Service) Submit(spec spybox.JobSpec) (spybox.JobID, error) {
 	norm, err := normalize(spec)
 	if err != nil {
 		return "", err
 	}
+	status := spybox.JobStatus{Spec: norm, State: spybox.JobQueued, Total: len(norm.Experiments)}
+	return s.submitStatus(status)
+}
+
+// submitStatus persists a pre-normalized queued status under a fresh
+// ID; SubmitBatch shares it to stamp Batch on expanded jobs.
+func (s *Service) submitStatus(status spybox.JobStatus) (spybox.JobID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return "", spybox.ErrClosed
 	}
-	s.seq++
-	id := spybox.JobID(fmt.Sprintf("job-%d", s.seq))
-	rec := Record{Status: spybox.JobStatus{
-		ID: id, Spec: norm, State: spybox.JobQueued, Total: len(norm.Experiments),
-	}}
-	if err := s.store.Put(rec); err != nil {
-		s.seq--
-		return "", fmt.Errorf("service: persisting job: %w", err)
+	counts, err := s.store.Counts()
+	if err != nil {
+		return "", fmt.Errorf("service: checking queue depth: %w", err)
 	}
-	// Persist, enqueue, and publish the runtime state in one critical
-	// section: Close cannot slip between the closed check and the
-	// enqueue (which would accept a job no worker will ever run), and
-	// no observer can find the job before its runtime state exists.
-	select {
-	case s.queue <- id:
-		s.rt[id] = newJobRT()
-		return id, nil
-	default:
-		// Full queue: withdraw the record so the ID never resurfaces
-		// as a phantom queued job after a restart. The sequence number
-		// is reclaimed only if the withdrawal stuck — an ID must never
-		// be reused over a record that refused to die.
-		if err := s.store.Delete(id); err == nil {
-			s.seq--
+	if counts.Queued >= s.queueDepth {
+		return "", fmt.Errorf("service: queue full (%d jobs pending)", counts.Queued)
+	}
+	for {
+		s.seq++
+		status.ID = spybox.JobID(fmt.Sprintf("job-%d", s.seq))
+		err := s.store.Create(Record{Status: status})
+		if err == nil {
+			break
 		}
-		return "", fmt.Errorf("service: queue full (%d jobs pending)", cap(s.queue))
+		if !errors.Is(err, ErrExists) {
+			s.seq--
+			return "", fmt.Errorf("service: persisting job: %w", err)
+		}
+		// A peer sharing the store took this ID; try the next one.
 	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return status.ID, nil
 }
 
 // Job implements spybox.JobService.
@@ -269,32 +330,48 @@ func (s *Service) Jobs() ([]spybox.JobStatus, error) {
 	return out, nil
 }
 
-// Wait implements spybox.JobService.
+// Wait implements spybox.JobService. Local completions wake it
+// immediately through the change broadcast; jobs finished by a peer
+// process are noticed within one poll interval.
 func (s *Service) Wait(ctx context.Context, id spybox.JobID) (spybox.JobStatus, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	status, err := s.Job(id)
-	if err != nil || status.State.Terminal() {
-		return status, err
-	}
-	s.mu.Lock()
-	rt := s.rt[id]
-	s.mu.Unlock()
-	if rt != nil {
+	for {
+		s.mu.Lock()
+		ch := s.change
+		closed := s.closed
+		running := s.rt[id] != nil
+		s.mu.Unlock()
+		status, err := s.Job(id)
+		if err != nil || status.State.Terminal() {
+			return status, err
+		}
+		if closed && !running {
+			// Drained: nothing in this process will finish the job. It
+			// survives (still queued) in a durable store for the next
+			// start; report where it stands.
+			return status, nil
+		}
+		timer := time.NewTimer(s.poll)
 		select {
-		case <-rt.done:
+		case <-ch: // local state change: re-check immediately
+		case <-timer.C: // a peer may have finished it
 		case <-ctx.Done():
+			timer.Stop()
 			return status, ctx.Err()
 		}
+		timer.Stop()
 	}
-	return s.Job(id)
 }
 
 // Cancel implements spybox.JobService: queued jobs go terminal
-// immediately and never start; running jobs have their context
-// cancelled, so the worker stops at the next trial boundary and
-// persists the results completed so far. Terminal jobs are left
+// immediately and never start; jobs running in this process have
+// their context cancelled, so the worker stops at the next trial
+// boundary and persists the results completed so far; jobs running in
+// a peer process are marked cancelled in the store — the peer's next
+// lease renewal fails and it abandons the run (its partial results are
+// lost; they lived only in its memory). Terminal jobs are left
 // untouched.
 func (s *Service) Cancel(id spybox.JobID) error {
 	s.mu.Lock()
@@ -310,20 +387,31 @@ func (s *Service) cancelLocked(id spybox.JobID) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", spybox.ErrNoJob, id)
 	}
-	rt := s.rt[id]
-	switch rec.Status.State {
-	case spybox.JobQueued:
-		rec.Status.State = spybox.JobCancelled
-		rec.Status.Error = "cancelled before start"
-		if err := s.store.Put(rec); err != nil {
-			return err
-		}
-		s.finishLocked(id, rt)
-	case spybox.JobRunning:
-		if rt != nil && rt.cancel != nil {
+	if rec.Status.State.Terminal() {
+		return nil
+	}
+	if rt := s.rt[id]; rt != nil {
+		// Running here (or claimed and about to): the run's context
+		// stops it, and the worker persists partials and finishes.
+		if rt.cancel != nil {
 			rt.cancel()
 		}
+		return nil
 	}
+	// Queued, or running in a peer process. Terminal Put clears any
+	// lease; a peer mid-run loses its lease and stands down without
+	// writing (see the leaseLost guard in runJob).
+	if rec.Status.State == spybox.JobRunning || rec.Lease.live(time.Now()) {
+		rec.Status.Error = "cancelled while running elsewhere"
+	} else {
+		rec.Status.Error = "cancelled before start"
+	}
+	rec.Status.State = spybox.JobCancelled
+	if err := s.store.Put(rec); err != nil {
+		return err
+	}
+	s.closeSubsLocked(id)
+	s.notifyChangeLocked()
 	return nil
 }
 
@@ -342,7 +430,8 @@ func (s *Service) Delete(id spybox.JobID) error {
 		<-rt.done
 	}
 	s.mu.Lock()
-	delete(s.rt, id)
+	s.closeSubsLocked(id)
+	s.notifyChangeLocked()
 	s.mu.Unlock()
 	return s.store.Delete(id)
 }
@@ -366,11 +455,13 @@ func (s *Service) Result(id spybox.JobID) ([]*report.Result, error) {
 // Watch subscribes to a job's progress events. The channel closes
 // when the job reaches a terminal state (immediately, for already
 // terminal jobs); a slow receiver drops events rather than stalling
-// the simulation. The returned func unsubscribes.
+// the simulation. Only the process running the job sees its events,
+// so a stream opened on a peer's job carries nothing and simply
+// closes when the job finishes. The returned func unsubscribes.
 func (s *Service) Watch(id spybox.JobID) (<-chan spybox.Event, func(), error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok, err := s.store.Get(id)
+	rec, ok, err := s.store.Get(id)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -378,24 +469,25 @@ func (s *Service) Watch(id spybox.JobID) (<-chan spybox.Event, func(), error) {
 		return nil, nil, fmt.Errorf("%w: %s", spybox.ErrNoJob, id)
 	}
 	ch := make(chan spybox.Event, 64)
-	rt := s.rt[id]
-	if rt == nil { // terminal (or store-loaded terminal): closed stream
+	if rec.Status.State.Terminal() || s.closed {
 		close(ch)
 		return ch, func() {}, nil
 	}
-	select {
-	case <-rt.done:
-		close(ch)
-		return ch, func() {}, nil
-	default:
+	if s.subs[id] == nil {
+		s.subs[id] = map[chan spybox.Event]struct{}{}
 	}
-	rt.subs[ch] = struct{}{}
+	s.subs[id][ch] = struct{}{}
 	unsub := func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if _, live := rt.subs[ch]; live {
-			delete(rt.subs, ch)
-			close(ch)
+		if set, ok := s.subs[id]; ok {
+			if _, live := set[ch]; live {
+				delete(set, ch)
+				close(ch)
+				if len(set) == 0 {
+					delete(s.subs, id)
+				}
+			}
 		}
 	}
 	return ch, unsub, nil
@@ -410,11 +502,7 @@ func (s *Service) publish(ev spybox.Event) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rt := s.rt[ev.Job]
-	if rt == nil {
-		return
-	}
-	for ch := range rt.subs {
+	for ch := range s.subs[ev.Job] {
 		select {
 		case ch <- ev:
 		default: // slow subscriber: drop, never stall the simulation
@@ -422,31 +510,35 @@ func (s *Service) publish(ev spybox.Event) {
 	}
 }
 
-// finishLocked closes out a job's runtime state: done is closed,
-// every subscriber stream ends, and the rt entry is dropped so a
-// long-lived server doesn't accumulate one per job ever run (Wait,
-// Watch, publish, and Cancel all treat a missing rt as "no longer
-// live"). Callers hold s.mu and have already persisted the terminal
-// record.
-func (s *Service) finishLocked(id spybox.JobID, rt *jobRT) {
-	if rt == nil {
-		return
-	}
-	select {
-	case <-rt.done:
-		return // already finished
-	default:
-	}
-	close(rt.done)
-	rt.cancel = nil
-	for ch := range rt.subs {
-		delete(rt.subs, ch)
+// closeSubsLocked ends every Watch stream for id. Callers hold s.mu.
+func (s *Service) closeSubsLocked(id spybox.JobID) {
+	for ch := range s.subs[id] {
 		close(ch)
 	}
-	delete(s.rt, id)
+	delete(s.subs, id)
 }
 
-// worker drains the queue until Close.
+// finishLocked closes out this process's runtime state for a job that
+// reached a terminal state (or was lost to a peer): done is closed so
+// Delete stops blocking, every subscriber stream ends, waiters are
+// woken, and the rt entry is dropped so a long-lived server doesn't
+// accumulate one per job ever run. Callers hold s.mu.
+func (s *Service) finishLocked(id spybox.JobID) {
+	if rt := s.rt[id]; rt != nil {
+		select {
+		case <-rt.done:
+		default:
+			close(rt.done)
+		}
+		delete(s.rt, id)
+	}
+	s.closeSubsLocked(id)
+	s.notifyChangeLocked()
+}
+
+// worker claims and runs jobs until Close. An idle worker sleeps
+// until a local Submit nudges it or the poll interval elapses (a peer
+// process may have submitted into the shared store).
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for {
@@ -455,46 +547,114 @@ func (s *Service) worker() {
 			return
 		default:
 		}
+		rec, ok, err := s.store.Claim(s.owner, s.leaseTTL)
+		if err == nil && ok {
+			s.runJob(rec)
+			continue // drain: look for more before sleeping
+		}
+		timer := time.NewTimer(s.poll)
+		select {
+		case <-s.stop:
+			timer.Stop()
+			return
+		case <-s.wake:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+}
+
+// observer closes Watch streams for jobs that a peer process finished
+// (locally run jobs close theirs through finishLocked, immediately).
+// It only touches the store while streams are open.
+func (s *Service) observer() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.poll)
+	defer ticker.Stop()
+	for {
 		select {
 		case <-s.stop:
 			return
-		case id := <-s.queue:
-			s.runJob(id)
+		case <-ticker.C:
+			s.mu.Lock()
+			for id := range s.subs {
+				if s.rt[id] != nil {
+					continue // running here: finishLocked will close it
+				}
+				rec, ok, err := s.store.Get(id)
+				if err != nil {
+					continue
+				}
+				if !ok || rec.Status.State.Terminal() {
+					s.closeSubsLocked(id)
+					s.notifyChangeLocked()
+				}
+			}
+			s.mu.Unlock()
 		}
 	}
 }
 
-// runJob executes one queued job: each experiment answered from the
+// runJob executes one claimed job: each experiment answered from the
 // cache when possible, simulated on the pooled session otherwise,
 // with the record updated after every experiment so observers (and
-// the store) always hold the latest progress.
-func (s *Service) runJob(id spybox.JobID) {
+// the store) always hold the latest progress. A renewal goroutine
+// keeps the lease alive; losing it (the process stalled past the TTL
+// and a peer reclaimed the job, or a peer cancelled it) aborts the
+// run, and the terminal write is skipped — whoever holds the lease
+// now owns the record.
+func (s *Service) runJob(claimed Record) {
+	id := claimed.Status.ID
 	s.mu.Lock()
-	rec, ok, err := s.store.Get(id)
-	if err != nil || !ok || rec.Status.State != spybox.JobQueued {
-		s.mu.Unlock()
-		return // cancelled or deleted while queued
-	}
 	select {
 	case <-s.stop:
-		// Draining: leave the job queued so a FileStore-backed
-		// service picks it up after restart.
+		// Draining: return the claim so the job stays queued for a
+		// peer or the next start.
 		s.mu.Unlock()
+		_ = s.store.Release(id, s.owner)
 		return
 	default:
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	rt := s.rt[id]
-	if rt == nil { // store-loaded job raced a Delete; nothing to run
+	rec, ok, err := s.store.Get(id)
+	if err != nil || !ok || rec.Status.State.Terminal() {
+		// Deleted or cancelled between claim and here; a terminal Put
+		// already cleared the lease.
 		s.mu.Unlock()
-		cancel()
 		return
 	}
-	rt.cancel = cancel
+	ctx, cancel := context.WithCancel(context.Background())
+	rt := &jobRT{cancel: cancel, done: make(chan struct{})}
+	s.rt[id] = rt
 	rec.Status.State = spybox.JobRunning
+	rec.Status.Done = 0
+	rec.Status.CacheHits = 0
+	rec.Status.Error = ""
 	putErr := s.store.Put(rec)
 	s.mu.Unlock()
 	defer cancel()
+
+	// Renew the lease while the job runs. A failed renewal means the
+	// job is no longer ours; stop simulating and stand down.
+	var leaseLost atomic.Bool
+	renewStop := make(chan struct{})
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		ticker := time.NewTicker(s.leaseTTL / 3)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-renewStop:
+				return
+			case <-ticker.C:
+				if err := s.store.Renew(id, s.owner, s.leaseTTL); err != nil {
+					leaseLost.Store(true)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
 
 	spec := rec.Status.Spec
 	var results []*report.Result
@@ -530,13 +690,16 @@ func (s *Service) runJob(id spybox.JobID) {
 				_ = s.cache.Put(key, rs[0])
 			}
 			// Progress checkpoint. No s.mu: while the job is running,
-			// this goroutine is the record's only writer (queued-state
-			// cancellation can't touch it any more, Delete blocks on
-			// rt.done, and stores serialize internally). Results stay
-			// in memory until the terminal write — a restart re-runs
-			// non-terminal jobs from scratch anyway, so persisting
-			// partials per experiment would only bloat every FileStore
-			// rewrite with all completed payloads.
+			// this goroutine is the record's only writer (cancellation
+			// routes through rt.cancel, Delete blocks on rt.done, and
+			// stores serialize internally). Results stay in memory
+			// until the terminal write — a restart re-runs non-terminal
+			// jobs from scratch anyway, so persisting partials per
+			// experiment would only bloat the job log with every
+			// completed payload.
+			if leaseLost.Load() {
+				break
+			}
 			if cur, ok, _ := s.store.Get(id); ok {
 				cur.Status.Done = len(results)
 				cur.Status.CacheHits = cacheHits
@@ -544,12 +707,19 @@ func (s *Service) runJob(id spybox.JobID) {
 			}
 		}
 	}
+	close(renewStop)
+	<-renewDone
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.finishLocked(id)
+	if leaseLost.Load() {
+		// A peer owns (or cancelled) the job now; writing a terminal
+		// record here could clobber its run. Stand down silently.
+		return
+	}
 	rec, ok, _ = s.store.Get(id)
 	if !ok { // deleted mid-run; runtime state still needs closing out
-		s.finishLocked(id, rt)
 		return
 	}
 	rec.Status.Done = len(results)
@@ -567,7 +737,6 @@ func (s *Service) runJob(id spybox.JobID) {
 		rec.Status.Error = runErr.Error()
 	}
 	_ = s.store.Put(rec)
-	s.finishLocked(id, rt)
 }
 
 // publishCached emits the experiment start/done pair for a cache hit,
@@ -582,11 +751,12 @@ func (s *Service) publishCached(id spybox.JobID, exptID string) {
 	s.publish(spybox.Event{Kind: spybox.ExperimentDone, Job: id, Experiment: exptID, Title: title, Trial: -1})
 }
 
-// Close drains the service: Submit starts refusing, running jobs are
-// cancelled (stopping at their next trial boundary, persisting the
-// results completed so far), queued jobs stay queued in the store for
-// the next start. Close returns when every worker has finished
-// persisting, or with the context's error if that takes longer.
+// Close drains the service: Submit starts refusing, jobs running here
+// are cancelled (stopping at their next trial boundary, persisting
+// the results completed so far), queued jobs stay queued in the store
+// — for the next start, or for peer processes still draining the same
+// store. Close returns when every worker has finished persisting, or
+// with the context's error if that takes longer.
 func (s *Service) Close(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -595,21 +765,20 @@ func (s *Service) Close(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.stop)
-		for id, rt := range s.rt {
+		for _, rt := range s.rt {
 			if rt.cancel != nil {
-				rt.cancel() // running: the worker persists partials, then finishes the rt
-				continue
-			}
-			// Queued: the job stays queued in the store for the next
-			// start, but its runtime is over — release Wait callers
-			// and end Watch streams now, or they would hang on a job
-			// no worker will ever claim. (A worker that already
-			// popped the ID but hasn't marked it running is blocked
-			// on s.mu right now and will observe stop and walk away.)
-			if rec, ok, _ := s.store.Get(id); ok && rec.Status.State == spybox.JobQueued {
-				s.finishLocked(id, rt)
+				rt.cancel() // the worker persists partials, then finishes the rt
 			}
 		}
+		// End Watch streams on jobs this process isn't running —
+		// nothing here will ever feed them — and wake every Wait so it
+		// can observe the drain.
+		for id := range s.subs {
+			if s.rt[id] == nil {
+				s.closeSubsLocked(id)
+			}
+		}
+		s.notifyChangeLocked()
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -627,40 +796,37 @@ func (s *Service) Close(ctx context.Context) error {
 
 // Stats is an operational snapshot of the service.
 type Stats struct {
-	Jobs        int   `json:"jobs"` // records in the store
-	Queued      int   `json:"queued"`
-	Running     int   `json:"running"`
-	Done        int   `json:"done"`
-	Failed      int   `json:"failed"`
-	Cancelled   int   `json:"cancelled"`
-	Workers     int   `json:"workers"`
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
-	CacheSize   int   `json:"cache_entries"`
+	Jobs      int `json:"jobs"` // records in the store
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Leased counts non-terminal jobs under a live lease, across every
+	// process sharing the store.
+	Leased      int    `json:"leased"`
+	Workers     int    `json:"workers"`
+	Owner       string `json:"owner"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	CacheSize   int    `json:"cache_entries"`
 }
 
-// Stats counts jobs by state and reports the cache counters.
+// Stats counts jobs by state and reports the cache counters. Counts
+// come from the store's census, not a full List, so Stats stays cheap
+// on a store full of finished jobs.
 func (s *Service) Stats() (Stats, error) {
-	recs, err := s.store.List()
+	c, err := s.store.Counts()
 	if err != nil {
 		return Stats{}, err
 	}
-	st := Stats{Jobs: len(recs), Workers: s.workers, CacheSize: s.cache.Len()}
-	st.CacheHits, st.CacheMisses = s.cache.Stats()
-	for _, rec := range recs {
-		switch rec.Status.State {
-		case spybox.JobQueued:
-			st.Queued++
-		case spybox.JobRunning:
-			st.Running++
-		case spybox.JobDone:
-			st.Done++
-		case spybox.JobFailed:
-			st.Failed++
-		case spybox.JobCancelled:
-			st.Cancelled++
-		}
+	st := Stats{
+		Jobs: c.Total, Queued: c.Queued, Running: c.Running,
+		Done: c.Done, Failed: c.Failed, Cancelled: c.Cancelled,
+		Leased: c.Leased, Workers: s.workers, Owner: s.owner,
+		CacheSize: s.cache.Len(),
 	}
+	st.CacheHits, st.CacheMisses = s.cache.Stats()
 	return st, nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -399,15 +398,16 @@ func TestWatchStreamsJobTaggedEvents(t *testing.T) {
 	}
 }
 
-func TestFileStoreRestartRequeues(t *testing.T) {
+func TestLogStoreRestartRequeues(t *testing.T) {
 	t.Parallel()
-	path := filepath.Join(t.TempDir(), "jobs.json")
-	store, err := NewFileStore(path)
+	store, err := OpenLogStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer store.Close()
 	// Seed the store as a dead server would have left it: one job
-	// still queued, one caught mid-run, one already done.
+	// still queued, one caught mid-run (its lease long expired with
+	// its owner), one already done.
 	queued := rec("job-2", spybox.JobQueued)
 	midRun := rec("job-3", spybox.JobRunning)
 	finished := rec("job-1", spybox.JobDone)

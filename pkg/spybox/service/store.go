@@ -1,66 +1,349 @@
-// Job persistence: the Store interface and its two implementations.
-// MemStore is the default for tests and throwaway servers; FileStore
-// writes one JSON document per mutation (atomically, via rename) so a
-// served queue survives a process restart — the service re-enqueues
-// every non-terminal record it loads.
+// Job persistence: the Store interface, the jobTable state machine
+// both implementations share, and MemStore (the default for tests and
+// throwaway servers). The durable implementation is LogStore (log.go):
+// an append-only record log plus compaction snapshot that N serve
+// processes can share through one directory.
+//
+// Stores are also the fleet's scheduler: a worker takes work by
+// Claim-ing the next runnable job under a time-limited lease, renewing
+// it while the job runs. A process that dies mid-job simply stops
+// renewing, and once the lease expires any other process reclaims the
+// job — that is the whole crash-recovery story, and it is why the
+// claim/renew/release operations live in the store (the one component
+// every process in a fleet shares) rather than in the service.
 
 package service
 
 import (
-	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"spybox/pkg/spybox"
 	"spybox/pkg/spybox/report"
 )
 
-// Record is everything a store persists about one job: its status and
+// Lease records which worker currently owns a claimed job and until
+// when. A lease is live while Expires is in the future; an expired
+// lease means its owner died (or stalled past renewal) and the job is
+// reclaimable.
+type Lease struct {
+	Owner   string    `json:"owner"`
+	Expires time.Time `json:"expires"`
+}
+
+// live reports whether the lease is held at instant now.
+func (l *Lease) live(now time.Time) bool {
+	return l != nil && now.Before(l.Expires)
+}
+
+// Record is everything a store persists about one job: its status,
 // the results completed so far (the full set once done, a prefix for
-// failed or cancelled jobs).
+// failed or cancelled jobs), and — maintained by Claim/Renew/Release,
+// never by Put — the lease of the worker running it.
 type Record struct {
-	Status  spybox.JobStatus `json:"status"`
+	Status spybox.JobStatus `json:"status"`
+	// Lease is read-only to callers: Put ignores the field (claiming
+	// is a separate, atomic operation) and clears any lease when the
+	// record goes terminal.
+	Lease   *Lease           `json:"lease,omitempty"`
 	Results []*report.Result `json:"results,omitempty"`
 }
 
-// Store persists job records. Implementations must be safe for
-// concurrent use; List returns records in submission order, which is
-// also the order the service re-enqueues surviving jobs in after a
-// restart.
+// clone deep-copies a record so no caller can mutate store state
+// through a returned value (or have the store capture a slice the
+// caller still owns). Results go through report.Clone; the spec's
+// experiment list and the lease are copied too.
+func (r Record) clone() Record {
+	out := r
+	if r.Status.Spec.Experiments != nil {
+		out.Status.Spec.Experiments = append([]string(nil), r.Status.Spec.Experiments...)
+	}
+	if r.Lease != nil {
+		l := *r.Lease
+		out.Lease = &l
+	}
+	if r.Results != nil {
+		out.Results = make([]*report.Result, len(r.Results))
+		for i, res := range r.Results {
+			out.Results[i] = res.Clone()
+		}
+	}
+	return out
+}
+
+// Counts is the by-state census of a store, cheap enough to call on
+// every Submit (unlike List, which deep-copies every record).
+type Counts struct {
+	Total     int `json:"total"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Leased counts non-terminal records under a live lease.
+	Leased int `json:"leased"`
+}
+
+// ErrExists is returned by Create when the record's ID is already
+// present — the caller must pick another ID, never overwrite.
+var ErrExists = errors.New("service: job ID already exists")
+
+// ErrNotOwner is returned by Renew and Release when the caller does
+// not hold the job's lease (it expired and another worker claimed the
+// job, or it was never claimed).
+var ErrNotOwner = errors.New("service: lease not held by this owner")
+
+// Store persists job records and schedules them across workers.
+// Implementations must be safe for concurrent use; List returns
+// records in submission order. Mutating a returned Record never
+// changes stored state — reads are deep copies.
 type Store interface {
-	// Put inserts or replaces the record keyed by Status.ID.
+	// Put inserts or replaces the record keyed by Status.ID. The
+	// record's Lease field is ignored: an existing lease is kept,
+	// except that a terminal record's lease is cleared (its run is
+	// over).
 	Put(rec Record) error
-	// Get returns the record for id, reporting whether it exists.
+	// Create is Put that fails with ErrExists when the ID is already
+	// present, so concurrent processes sharing a store never allocate
+	// the same job ID.
+	Create(rec Record) error
+	// Get returns a deep copy of the record for id, reporting whether
+	// it exists.
 	Get(id spybox.JobID) (Record, bool, error)
-	// List returns every record, in submission order.
+	// List returns a deep copy of every record, in submission order.
 	List() ([]Record, error)
 	// Delete removes the record for id; deleting an absent id is a
 	// no-op.
 	Delete(id spybox.JobID) error
+	// Counts reports the by-state census without copying records.
+	Counts() (Counts, error)
+	// Claim atomically leases the next runnable job to owner for ttl
+	// and returns it. Runnable means non-terminal with no live lease:
+	// a queued job, or a running job whose worker stopped renewing
+	// (crashed) — the caller re-runs the latter from scratch.
+	// Candidates are picked round-robin across fairness groups
+	// (Spec.Client, else Status.Batch, else the shared interactive
+	// slot), oldest-first within a group, so one huge batch cannot
+	// starve other submitters. ok is false when nothing is runnable.
+	Claim(owner string, ttl time.Duration) (rec Record, ok bool, err error)
+	// Renew extends owner's lease on id by ttl from now. It fails
+	// with ErrNotOwner when owner no longer holds the lease and with
+	// spybox.ErrNoJob when the record is gone — either way the caller
+	// has lost the job and must stop writing to it.
+	Renew(id spybox.JobID, owner string, ttl time.Duration) error
+	// Release clears owner's lease without touching the record's
+	// state, returning a claimed-but-unstarted job to the queue (e.g.
+	// on shutdown between Claim and the running transition).
+	Release(id spybox.JobID, owner string) error
 }
 
-// MemStore is the in-memory Store: a map plus the submission order.
-type MemStore struct {
-	mu    sync.Mutex
-	byID  map[spybox.JobID]Record
+// jobTable is the in-memory state machine shared by MemStore and
+// LogStore: records in submission order, the runnable set, and the
+// round-robin fairness cursor. It does no locking and no copying —
+// wrappers own both.
+type jobTable struct {
+	byID  map[spybox.JobID]*Record
 	order []spybox.JobID
+	// pending holds IDs that may be runnable (non-terminal), in
+	// submission order, compacted lazily during claim scans so that
+	// claiming stays O(live jobs) on a store full of finished ones.
+	pending []spybox.JobID
+	// cursor is the fairness group served last; the next claim starts
+	// from the group after it in sorted cyclic order.
+	cursor string
+	counts Counts
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{byID: map[spybox.JobID]*Record{}}
+}
+
+// countState adjusts the census for one record entering (+1) or
+// leaving (-1) its state.
+func (t *jobTable) countState(state spybox.JobState, d int) {
+	switch state {
+	case spybox.JobQueued:
+		t.counts.Queued += d
+	case spybox.JobRunning:
+		t.counts.Running += d
+	case spybox.JobDone:
+		t.counts.Done += d
+	case spybox.JobFailed:
+		t.counts.Failed += d
+	case spybox.JobCancelled:
+		t.counts.Cancelled += d
+	}
+}
+
+// put applies Put semantics: upsert, keep the stored lease (the Lease
+// field of the argument is ignored), clear it on terminal records.
+func (t *jobTable) put(rec Record) {
+	id := rec.Status.ID
+	prev, existed := t.byID[id]
+	if existed {
+		rec.Lease = prev.Lease
+		t.countState(prev.Status.State, -1)
+		if prev.Status.State.Terminal() && !rec.Status.State.Terminal() {
+			// Resurrected: a lazy claim-scan compaction may have
+			// dropped the ID from pending while it was terminal.
+			inPending := false
+			for _, p := range t.pending {
+				if p == id {
+					inPending = true
+					break
+				}
+			}
+			if !inPending {
+				t.pending = append(t.pending, id)
+			}
+		}
+	} else {
+		t.order = append(t.order, id)
+		t.counts.Total++
+		if !rec.Status.State.Terminal() {
+			t.pending = append(t.pending, id)
+		}
+		rec.Lease = nil
+	}
+	if rec.Status.State.Terminal() {
+		rec.Lease = nil
+	}
+	t.countState(rec.Status.State, 1)
+	t.byID[id] = &rec
+}
+
+func (t *jobTable) delete(id spybox.JobID) {
+	rec, ok := t.byID[id]
+	if !ok {
+		return
+	}
+	t.countState(rec.Status.State, -1)
+	t.counts.Total--
+	delete(t.byID, id)
+	for i, o := range t.order {
+		if o == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	// pending is compacted lazily on the next claim scan.
+}
+
+func (t *jobTable) get(id spybox.JobID) (*Record, bool) {
+	rec, ok := t.byID[id]
+	return rec, ok
+}
+
+func (t *jobTable) list() []Record {
+	out := make([]Record, 0, len(t.order))
+	for _, id := range t.order {
+		out = append(out, *t.byID[id])
+	}
+	return out
+}
+
+// leasedCount is O(pending): terminal records never hold leases.
+func (t *jobTable) leasedCount(now time.Time) int {
+	n := 0
+	for _, id := range t.pending {
+		if rec, ok := t.byID[id]; ok && !rec.Status.State.Terminal() && rec.Lease.live(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// fairnessGroup buckets a record for round-robin claiming: explicit
+// client first, then its batch, then the shared interactive slot.
+func fairnessGroup(rec *Record) string {
+	if rec.Status.Spec.Client != "" {
+		return "client\x00" + rec.Status.Spec.Client
+	}
+	if rec.Status.Batch != "" {
+		return "batch\x00" + rec.Status.Batch
+	}
+	return ""
+}
+
+// pickClaim chooses the next runnable job at instant now, compacting
+// the pending set as it scans, without mutating any record. ok is
+// false when nothing is runnable.
+func (t *jobTable) pickClaim(now time.Time) (spybox.JobID, bool) {
+	oldest := map[string]spybox.JobID{} // fairness group -> first runnable ID
+	var groups []string
+	live := t.pending[:0]
+	for _, id := range t.pending {
+		rec, ok := t.byID[id]
+		if !ok || rec.Status.State.Terminal() {
+			continue // deleted or finished: drop from pending
+		}
+		live = append(live, id)
+		if rec.Lease.live(now) {
+			continue // another worker is on it
+		}
+		g := fairnessGroup(rec)
+		if _, seen := oldest[g]; !seen {
+			oldest[g] = id
+			groups = append(groups, g)
+		}
+	}
+	t.pending = live
+	if len(groups) == 0 {
+		return "", false
+	}
+	// Serve the first group strictly after the cursor in sorted cyclic
+	// order, so successive claims rotate across every waiting group.
+	sort.Strings(groups)
+	next := groups[0]
+	for _, g := range groups {
+		if g > t.cursor {
+			next = g
+			break
+		}
+	}
+	t.cursor = next
+	return oldest[next], true
+}
+
+// setLease stamps (or clears, with a nil lease) the lease on id.
+func (t *jobTable) setLease(id spybox.JobID, lease *Lease) {
+	if rec, ok := t.byID[id]; ok {
+		rec.Lease = lease
+	}
+}
+
+// MemStore is the in-memory Store: a jobTable behind a mutex, with
+// deep copies across the read boundary.
+type MemStore struct {
+	mu  sync.Mutex
+	tbl *jobTable
+	now func() time.Time // test hook; time.Now otherwise
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{byID: map[spybox.JobID]Record{}}
+	return &MemStore{tbl: newJobTable(), now: time.Now}
 }
 
 // Put implements Store.
 func (s *MemStore) Put(rec Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.byID[rec.Status.ID]; !ok {
-		s.order = append(s.order, rec.Status.ID)
+	s.tbl.put(rec.clone())
+	return nil
+}
+
+// Create implements Store.
+func (s *MemStore) Create(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tbl.get(rec.Status.ID); ok {
+		return fmt.Errorf("%w: %s", ErrExists, rec.Status.ID)
 	}
-	s.byID[rec.Status.ID] = rec
+	s.tbl.put(rec.clone())
 	return nil
 }
 
@@ -68,17 +351,21 @@ func (s *MemStore) Put(rec Record) error {
 func (s *MemStore) Get(id spybox.JobID) (Record, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec, ok := s.byID[id]
-	return rec, ok, nil
+	rec, ok := s.tbl.get(id)
+	if !ok {
+		return Record{}, false, nil
+	}
+	return rec.clone(), true, nil
 }
 
 // List implements Store.
 func (s *MemStore) List() ([]Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Record, 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, s.byID[id])
+	recs := s.tbl.list()
+	out := make([]Record, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.clone()
 	}
 	return out, nil
 }
@@ -87,142 +374,61 @@ func (s *MemStore) List() ([]Record, error) {
 func (s *MemStore) Delete(id spybox.JobID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.byID[id]; !ok {
-		return nil
-	}
-	delete(s.byID, id)
-	for i, o := range s.order {
-		if o == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
+	s.tbl.delete(id)
 	return nil
 }
 
-// StoreSchema tags the FileStore document layout, mirroring the
-// report schema policy: a different tag means a different layout, and
-// NewFileStore refuses it instead of misreading it.
-const StoreSchema = "spybox.jobs/v1"
-
-// storeDoc is the on-disk shape of a FileStore.
-type storeDoc struct {
-	SchemaVersion string   `json:"schema"`
-	Jobs          []Record `json:"jobs"`
-}
-
-// FileStore is the JSON-file Store: every mutation rewrites the file
-// through a temp-file rename, so the document on disk is always a
-// complete, parseable snapshot and queued jobs survive a restart.
-type FileStore struct {
-	mu   sync.Mutex
-	path string
-	mem  *MemStore // authoritative in-memory view, flushed on mutation
-}
-
-// NewFileStore opens (or creates) the store at path, loading any
-// existing document.
-func NewFileStore(path string) (*FileStore, error) {
-	s := &FileStore{path: path, mem: NewMemStore()}
-	b, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return s, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("service: reading job store: %w", err)
-	}
-	var doc storeDoc
-	if err := json.Unmarshal(b, &doc); err != nil {
-		return nil, fmt.Errorf("service: parsing job store %s: %w", path, err)
-	}
-	if doc.SchemaVersion != StoreSchema {
-		return nil, fmt.Errorf("service: job store %s has schema %q (this build reads %q)",
-			path, doc.SchemaVersion, StoreSchema)
-	}
-	for _, rec := range doc.Jobs {
-		if err := s.mem.Put(rec); err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
-}
-
-// flush writes the current snapshot; callers hold s.mu.
-func (s *FileStore) flush() error {
-	jobs, err := s.mem.List()
-	if err != nil {
-		return err
-	}
-	if jobs == nil {
-		jobs = []Record{} // "jobs" must be an array, never null
-	}
-	b, err := json.MarshalIndent(storeDoc{SchemaVersion: StoreSchema, Jobs: jobs}, "", "  ")
-	if err != nil {
-		return fmt.Errorf("service: encoding job store: %w", err)
-	}
-	b = append(b, '\n')
-	if dir := filepath.Dir(s.path); dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	tmp := s.path + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, s.path)
-}
-
-// Put implements Store. A failed flush is rolled back in memory, so
-// the in-memory view never claims state the caller was told did not
-// persist (a phantom queued job would sit unrunnable forever).
-func (s *FileStore) Put(rec Record) error {
+// Counts implements Store.
+func (s *MemStore) Counts() (Counts, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	prev, existed, _ := s.mem.Get(rec.Status.ID)
-	if err := s.mem.Put(rec); err != nil {
-		return err
+	c := s.tbl.counts
+	c.Leased = s.tbl.leasedCount(s.now())
+	return c, nil
+}
+
+// Claim implements Store.
+func (s *MemStore) Claim(owner string, ttl time.Duration) (Record, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	id, ok := s.tbl.pickClaim(now)
+	if !ok {
+		return Record{}, false, nil
 	}
-	if err := s.flush(); err != nil {
-		if existed {
-			_ = s.mem.Put(prev)
-		} else {
-			_ = s.mem.Delete(rec.Status.ID)
-		}
-		return err
+	s.tbl.setLease(id, &Lease{Owner: owner, Expires: now.Add(ttl)})
+	rec, _ := s.tbl.get(id)
+	return rec.clone(), true, nil
+}
+
+// Renew implements Store.
+func (s *MemStore) Renew(id spybox.JobID, owner string, ttl time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.tbl.get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", spybox.ErrNoJob, id)
 	}
+	// An expired-but-unclaimed lease is still renewable: had another
+	// worker claimed the job in the meantime, the owner would differ.
+	if rec.Lease == nil || rec.Lease.Owner != owner {
+		return fmt.Errorf("%w: %s on %s", ErrNotOwner, owner, id)
+	}
+	s.tbl.setLease(id, &Lease{Owner: owner, Expires: s.now().Add(ttl)})
 	return nil
 }
 
-// Get implements Store.
-func (s *FileStore) Get(id spybox.JobID) (Record, bool, error) {
+// Release implements Store.
+func (s *MemStore) Release(id spybox.JobID, owner string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.mem.Get(id)
-}
-
-// List implements Store.
-func (s *FileStore) List() ([]Record, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mem.List()
-}
-
-// Delete implements Store, with the same rollback-on-failed-flush
-// contract as Put (the restored record rejoins the order at the end —
-// content consistency is what matters on a dying disk).
-func (s *FileStore) Delete(id spybox.JobID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	prev, existed, _ := s.mem.Get(id)
-	if err := s.mem.Delete(id); err != nil {
-		return err
+	rec, ok := s.tbl.get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", spybox.ErrNoJob, id)
 	}
-	if err := s.flush(); err != nil {
-		if existed {
-			_ = s.mem.Put(prev)
-		}
-		return err
+	if rec.Lease == nil || rec.Lease.Owner != owner {
+		return fmt.Errorf("%w: %s on %s", ErrNotOwner, owner, id)
 	}
+	s.tbl.setLease(id, nil)
 	return nil
 }
