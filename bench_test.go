@@ -15,8 +15,10 @@ import (
 	"spybox/internal/core"
 	"spybox/internal/cudart"
 	"spybox/internal/expt"
+	"spybox/internal/game"
 	"spybox/internal/l2cache"
 	"spybox/internal/sim"
+	"spybox/internal/xrand"
 )
 
 // benchParams gives every benchmark iteration a distinct seed so
@@ -427,4 +429,30 @@ func BenchmarkExtAllPairs(b *testing.B) {
 // BenchmarkExtMultiGPU regenerates the additional-spy-GPUs extension.
 func BenchmarkExtMultiGPU(b *testing.B) {
 	runExperiment(b, "multigpu", "bw_2_4+4 sets")
+}
+
+// BenchmarkGameRound measures the arms-race engine's per-round
+// decision cost — both policies plus trace recording — with -benchmem
+// as the zero-allocation gate: policies are inline value state and
+// the trace is preallocated, so a match of any length costs exactly
+// one engine allocation up front.
+func BenchmarkGameRound(b *testing.B) {
+	const rounds = 64
+	eng, err := game.New(game.Config{Rounds: rounds, Planes: 6, Aggressiveness: 0.75}, xrand.New(0x9a3e))
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := game.Observation{
+		CovertRate: 9000, Threshold: 2000, ErrPct: 30,
+		TxPlane: 1, LocalPlane: 1, BenignPlane: 5, ThrottledPlane: -1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%rounds == 0 {
+			eng.Reset()
+		}
+		eng.Step(obs)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
 }

@@ -58,6 +58,7 @@ func batchCmd(args []string) error {
 	archName := fs.String("arch", "", "architecture profile to simulate (empty means the paper's machine)")
 	parallel := fs.Int("parallel", 0, "per-job trial worker pool (0 means every core; results are identical at any value)")
 	client := fs.String("client", "", "fairness label: batches sharing it share one round-robin scheduling slot")
+	priority := fs.Int("priority", 0, "claim priority for every job in the batch (default 0, the bulk tier)")
 	wait := fs.Bool("wait", false, "wait until every job in the batch is terminal, reporting progress")
 	asJSON := fs.Bool("json", false, "emit the BatchStatus as JSON")
 	if len(args) == 0 {
@@ -79,6 +80,7 @@ func batchCmd(args []string) error {
 		Arch:        *archName,
 		Parallel:    *parallel,
 		Client:      *client,
+		Priority:    *priority,
 	})
 	if err != nil {
 		return err

@@ -43,6 +43,7 @@ func submitCmd(args []string) error {
 	scaleStr := fs.String("scale", "", "experiment scale: "+strings.Join(spybox.ScaleNames(), ", ")+" (empty means default)")
 	archName := fs.String("arch", "", "architecture profile to simulate (empty means the paper's machine)")
 	parallel := fs.Int("parallel", 0, "per-job trial worker pool (0 means every core; results are identical at any value)")
+	priority := fs.Int("priority", 0, "claim priority: higher jumps ahead of queued lower-priority work (default 0, the bulk tier)")
 	wait := fs.Bool("wait", false, "wait for the job and print its results (like 'spybox wait')")
 	format := fs.String("format", "text", "with -wait: text (human reports) or json (the report/v1 document)")
 	progress := fs.Bool("progress", false, "with -wait: stream the job's progress events to stderr")
@@ -59,6 +60,7 @@ func submitCmd(args []string) error {
 	cli := service.NewClient(*addr)
 	id, err := cli.Submit(spybox.JobSpec{
 		Experiments: splitIDs(ids), Seed: *seed, Scale: *scaleStr, Arch: *archName, Parallel: *parallel,
+		Priority: *priority,
 	})
 	if err != nil {
 		return err

@@ -82,9 +82,17 @@ func HammingDecode(bits []byte) (msg []byte, corrected int) {
 // number of corrected codewords, and the underlying raw transmission
 // (for bandwidth/error accounting).
 func (c *Channel) TransmitReliable(msg []byte) (recovered []byte, corrected int, raw *Transmission, err error) {
+	return c.TransmitReliableWith(msg, nil)
+}
+
+// TransmitReliableWith is TransmitReliable with TransmitWith's
+// beforeRun hook, so concurrent workloads (defense samplers, benign
+// noise) can key their termination off the FEC-coded transfer exactly
+// as they do off a raw one.
+func (c *Channel) TransmitReliableWith(msg []byte, beforeRun func(stop *bool) error) (recovered []byte, corrected int, raw *Transmission, err error) {
 	bits := HammingEncode(msg)
 	packed := BitsToBytes(padBits(bits))
-	raw, err = c.Transmit(packed)
+	raw, err = c.TransmitWith(packed, beforeRun)
 	if err != nil {
 		return nil, 0, nil, err
 	}

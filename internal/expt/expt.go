@@ -305,6 +305,10 @@ func Registry() []Experiment {
 			Trials:   "one per competitor count (0-3)",
 			Headline: []string{"bw_MBps_<k>streams", "err_pct_<k>streams", "queue_cycles_<k>streams", "err_rise_pct", "queue_growth"},
 			Run:      FabricSweep},
+		{ID: "armsrace", Title: "Closed-loop attacker-vs-defense arms race (extension)",
+			Trials:   "one per defender setting (static baseline + 3 adaptive)",
+			Headline: []string{"det_rate_<setting>", "fp_rate_<setting>", "goodput_MBps_<setting>", "err_pct_<setting>", "cost_<setting>", "dominates"},
+			Run:      ArmsRace},
 	}
 }
 

@@ -27,8 +27,8 @@ func TestParseScale(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(reg))
+	if len(reg) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {

@@ -106,6 +106,11 @@ func TestParallelDeterminism(t *testing.T) {
 		// vary with the worker-pool size either.
 		{"fabricsweep", FabricSweep, "", true},
 		{"sec7-v100", SecVII, "v100-dgx2", true},
+		// The arms-race game threads one xrand stream through policy
+		// decisions, payload draws, and sampler seeds across every
+		// round, so any worker-pool leakage would scramble a trace.
+		{"armsrace", ArmsRace, "", true},
+		{"armsrace-v100", ArmsRace, "v100-dgx2", true},
 	}
 	for _, c := range cases {
 		c := c

@@ -1,0 +1,139 @@
+// The decision core. Engine.Step is the round hot path the
+// BenchmarkGameRound gate holds at zero allocations: both policies
+// are inline value state, the trace is preallocated to the match
+// length, and the returned RoundTrace is a value.
+package game
+
+import (
+	"fmt"
+
+	"spybox/internal/arch"
+	"spybox/internal/xrand"
+)
+
+// Config shapes an engine.
+type Config struct {
+	// Rounds presizes the trace (and bounds nothing: Step past Rounds
+	// still records, at the price of reallocation).
+	Rounds int
+	// Planes is the box's switch-plane count (0 = flat box).
+	Planes int
+	// Aggressiveness in [0,1] scales the defender's appetite for
+	// standing measures; Static pins the Sec. VII baseline (observe
+	// and threshold only, never act).
+	Aggressiveness float64
+	Static         bool
+	// BitPeriod is the attacker's starting pulse period; 0 means the
+	// channel default. It must be one of core.BitPeriods to move the
+	// starting rung; otherwise the default rung is used.
+	BitPeriod arch.Cycles
+}
+
+// Engine turns one Observation per round into a RoundTrace. It owns
+// only policy state; actuator state lives with the caller's Controls.
+type Engine struct {
+	//spylint:allow resetcomplete construction-time constant; Reset replays the same config
+	cfg Config
+	//spylint:allow resetcomplete the caller owns the stream and reseeds it for replays
+	rng   *xrand.Source
+	def   defender
+	atk   attacker
+	trace []RoundTrace
+}
+
+// New builds an engine drawing all randomness from rng (the trial's
+// stream — the engine never seeds itself).
+func New(cfg Config, rng *xrand.Source) (*Engine, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("game: Rounds must be positive, got %d", cfg.Rounds)
+	}
+	if cfg.Planes < 0 {
+		return nil, fmt.Errorf("game: negative plane count %d", cfg.Planes)
+	}
+	if cfg.Aggressiveness < 0 || cfg.Aggressiveness > 1 {
+		return nil, fmt.Errorf("game: Aggressiveness %g outside [0,1]", cfg.Aggressiveness)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("game: nil rng")
+	}
+	e := &Engine{cfg: cfg, rng: rng, trace: make([]RoundTrace, 0, cfg.Rounds)}
+	e.Reset()
+	return e, nil
+}
+
+// Reset rewinds the policies and empties the trace in place so a
+// pooled engine can replay a match without reallocating. The rng is
+// left alone; reseed it from outside for bit-identical replays.
+func (e *Engine) Reset() {
+	e.def = defender{aggr: e.cfg.Aggressiveness, static: e.cfg.Static}
+	e.atk = newAttacker(e.cfg.BitPeriod)
+	e.trace = e.trace[:0]
+}
+
+// Trace returns the rounds recorded so far (shared slice, valid until
+// the next Reset).
+func (e *Engine) Trace() []RoundTrace { return e.trace }
+
+// Step consumes one round's observation, advances both policies, and
+// records and returns the round. The defender and attacker both
+// decide from the same observation — neither sees the other's move
+// until the next round, which is what makes it a game.
+func (e *Engine) Step(obs Observation) RoundTrace {
+	detected := obs.CovertRate > obs.Threshold
+	fp := obs.BenignRate > obs.Threshold
+
+	act, actPlane, factor := e.def.decide(&obs, e.cfg.Planes, detected, fp)
+	period, fec, txPlane := e.atk.adapt(e.rng, &obs, e.cfg.Planes)
+
+	tr := RoundTrace{
+		Round:       len(e.trace),
+		Detected:    detected,
+		FalsePos:    fp,
+		Action:      act,
+		ActPlane:    actPlane,
+		Factor:      factor,
+		Threshold:   obs.Threshold,
+		Cost:        roundCost(&obs, act, actPlane),
+		BitPeriod:   period,
+		FEC:         fec,
+		TxPlane:     txPlane,
+		GoodputMBps: obs.GoodputMBps,
+		ErrPct:      obs.ErrPct,
+	}
+	e.trace = append(e.trace, tr)
+	return tr
+}
+
+// roundCost charges the action's one-shot cost plus the per-round tax
+// of every measure standing after it.
+func roundCost(obs *Observation, act Action, actPlane int) float64 {
+	var cost float64
+	switch act {
+	case ActRaiseThreshold, ActLowerThreshold:
+		cost = CostRetune
+	case ActThrottlePlane:
+		cost = CostThrottleSetup
+	case ActRepinVictim:
+		cost = CostReroute
+	case ActPartition:
+		cost = CostPartitionSetup
+	}
+	throttled := obs.ThrottledPlane
+	if act == ActThrottlePlane {
+		throttled = actPlane
+	}
+	benign := obs.BenignPlane
+	if act == ActRepinVictim {
+		benign = actPlane
+	}
+	if throttled >= 0 {
+		cost += CostThrottleRound
+		if benign == throttled {
+			cost += CostCollateralRound
+		}
+	}
+	if obs.Partitioned || act == ActPartition {
+		cost += CostPartitionRound
+	}
+	return cost
+}

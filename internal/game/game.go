@@ -1,0 +1,190 @@
+// Package game is the closed-loop attacker-vs-defense arms race the
+// paper's Sec. VII only gestures at. A round-based engine interleaves
+// covert transmission epochs with defense observation windows on one
+// simulated machine: each round the defender reads the NVLink
+// sampler's statistics and picks one management action (retune the
+// detection threshold, derate the suspect switch plane, re-pin the
+// benign victim's route, partition the suspect L2), while the
+// attacker reads its own error-rate/goodput feedback and retunes the
+// channel (pulse rate, Hamming-FEC strength, plane hopping). Every
+// action carries a cost, so sweeping defender aggressiveness yields
+// the ROC-vs-goodput trade-off curves of the armsrace experiment.
+//
+// The package splits decision from actuation: Engine (engine.go) is
+// the pure, allocation-free decision core that turns one round's
+// Observation into a RoundTrace, and Match (match.go) drives a real
+// simulated machine around it. All randomness comes from the caller's
+// xrand stream, so matches are bit-identical at any -parallel.
+package game
+
+import (
+	"spybox/internal/arch"
+)
+
+// Action is the defender's per-round move.
+type Action uint8
+
+const (
+	// ActNone holds the current posture.
+	ActNone Action = iota
+	// ActRaiseThreshold backs the detection threshold off after a
+	// false positive on the benign baseline.
+	ActRaiseThreshold
+	// ActLowerThreshold tightens the threshold after quiet rounds.
+	ActLowerThreshold
+	// ActThrottlePlane derates the switch plane the stream was
+	// localized to.
+	ActThrottlePlane
+	// ActRepinVictim re-routes the benign pair off a derated plane.
+	ActRepinVictim
+	// ActPartition halves the suspect GPU's L2 associativity.
+	ActPartition
+)
+
+// String names the action for traces and reports.
+func (a Action) String() string {
+	switch a {
+	case ActNone:
+		return "hold"
+	case ActRaiseThreshold:
+		return "raise-threshold"
+	case ActLowerThreshold:
+		return "lower-threshold"
+	case ActThrottlePlane:
+		return "throttle-plane"
+	case ActRepinVictim:
+		return "repin-victim"
+	case ActPartition:
+		return "partition-l2"
+	default:
+		return "action(?)"
+	}
+}
+
+// Per-action and per-round defense costs, in abstract management
+// units. One-shot costs model the reconfiguration itself; per-round
+// costs model the performance tax a standing measure imposes on the
+// box (a derated plane slows every tenant on it, a halved L2 slows
+// the suspect GPU's benign work most of all).
+const (
+	// CostRetune is a threshold move (raise or lower).
+	CostRetune = 1.0
+	// CostReroute is a route-table reprogram (victim re-pin).
+	CostReroute = 2.0
+	// CostThrottleSetup is issuing a plane derating.
+	CostThrottleSetup = 2.0
+	// CostThrottleRound accrues every round a plane stays derated.
+	CostThrottleRound = 3.0
+	// CostCollateralRound accrues every round the benign pair rides a
+	// derated plane — the collateral damage re-pinning removes.
+	CostCollateralRound = 6.0
+	// CostPartitionSetup is flipping the L2 partition on.
+	CostPartitionSetup = 3.0
+	// CostPartitionRound accrues every round the partition stays on.
+	CostPartitionRound = 8.0
+)
+
+// Observation is everything both policies may see at the top of a
+// round: the defense sampler's statistics from the covert and benign
+// windows, the current actuator posture, and the attacker's own
+// channel feedback. The engine holds no actuator state itself — the
+// caller's Controls object is the single source of truth and is
+// reflected back in here each round.
+type Observation struct {
+	// CovertRate is the median busiest-link rate (txns/Mcycle) the
+	// sampler saw during the transmission window.
+	CovertRate float64
+	// LocalPlane is the switch plane the sampler localized the stream
+	// to, -1 when unlocalized (flat box, hopping stream, quiet).
+	LocalPlane int
+	// BenignRate is the median busiest-link rate during the benign
+	// baseline window; above-threshold values are false positives.
+	BenignRate float64
+	// BenignPlane is the plane the benign pair's route rides, -1
+	// without a fabric.
+	BenignPlane int
+
+	// Threshold is the detection threshold in force this round.
+	Threshold float64
+	// ThrottledPlane is the currently derated plane (-1 none) and
+	// ThrottleFactor its derating.
+	ThrottledPlane int
+	ThrottleFactor int
+	// Partitioned reports whether the suspect L2 partition is on.
+	Partitioned bool
+	// VictimRepinned reports whether the benign pair was re-routed.
+	VictimRepinned bool
+
+	// TxPlane is the plane the attacker's route currently rides (-1 on
+	// flat boxes); attacker-side knowledge, invisible to the defender.
+	TxPlane int
+	// GoodputMBps and ErrPct are the attacker's feedback from the
+	// round's transmission: correctly delivered payload bandwidth and
+	// the raw channel bit error rate.
+	GoodputMBps float64
+	// ErrPct is the raw (pre-FEC) channel bit error rate in percent.
+	ErrPct float64
+}
+
+// RoundTrace is one row of the per-round trace: what was observed,
+// what the defender did, and the attacker configuration going into
+// the next round.
+type RoundTrace struct {
+	Round    int
+	Detected bool // covert window cleared the threshold
+	FalsePos bool // benign window cleared it too
+
+	// Defender: the action taken, its plane operand (-1 when not
+	// plane-shaped), the derating factor for ActThrottlePlane, the
+	// threshold the round's decisions used (pre-action), and the
+	// defense cost charged this round (action + standing measures).
+	Action    Action
+	ActPlane  int
+	Factor    int
+	Threshold float64
+	Cost      float64
+
+	// Attacker: the channel configuration chosen for the next round.
+	BitPeriod arch.Cycles
+	FEC       bool
+	TxPlane   int
+
+	// Channel feedback measured this round.
+	GoodputMBps float64
+	ErrPct      float64
+}
+
+// Summary aggregates a finished match.
+type Summary struct {
+	Rounds          int
+	DetectionRate   float64 // fraction of rounds the covert window alarmed
+	FalsePosRate    float64 // fraction of rounds the benign window alarmed
+	MeanGoodputMBps float64
+	MeanErrPct      float64
+	DefenseCost     float64 // total cost over the match
+}
+
+// Summarize folds a trace into per-match statistics.
+func Summarize(trace []RoundTrace) Summary {
+	s := Summary{Rounds: len(trace)}
+	if len(trace) == 0 {
+		return s
+	}
+	for _, tr := range trace {
+		if tr.Detected {
+			s.DetectionRate++
+		}
+		if tr.FalsePos {
+			s.FalsePosRate++
+		}
+		s.MeanGoodputMBps += tr.GoodputMBps
+		s.MeanErrPct += tr.ErrPct
+		s.DefenseCost += tr.Cost
+	}
+	n := float64(len(trace))
+	s.DetectionRate /= n
+	s.FalsePosRate /= n
+	s.MeanGoodputMBps /= n
+	s.MeanErrPct /= n
+	return s
+}

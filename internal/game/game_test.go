@@ -1,0 +1,240 @@
+package game
+
+import (
+	"reflect"
+	"testing"
+
+	"spybox/internal/core"
+	"spybox/internal/xrand"
+)
+
+func newTestEngine(t *testing.T, cfg Config, seed uint64) *Engine {
+	t.Helper()
+	e, err := New(cfg, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := xrand.New(1)
+	if _, err := New(Config{Rounds: 0}, rng); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := New(Config{Rounds: 1, Planes: -1}, rng); err == nil {
+		t.Error("negative planes accepted")
+	}
+	if _, err := New(Config{Rounds: 1, Aggressiveness: 1.5}, rng); err == nil {
+		t.Error("aggressiveness > 1 accepted")
+	}
+	if _, err := New(Config{Rounds: 1}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestStaticDefenderNeverActs(t *testing.T) {
+	e := newTestEngine(t, Config{Rounds: 6, Static: true, Aggressiveness: 1}, 2)
+	obs := Observation{CovertRate: 9000, BenignRate: 5000, Threshold: 2000, LocalPlane: -1, BenignPlane: -1, TxPlane: -1, ThrottledPlane: -1}
+	for i := 0; i < 6; i++ {
+		tr := e.Step(obs)
+		if tr.Action != ActNone {
+			t.Fatalf("round %d: static defender acted: %v", i, tr.Action)
+		}
+		if !tr.Detected || !tr.FalsePos {
+			t.Fatalf("round %d: detection flags wrong: %+v", i, tr)
+		}
+		if tr.Cost != 0 {
+			t.Fatalf("round %d: static defender charged cost %g", i, tr.Cost)
+		}
+	}
+}
+
+func TestDefenderPartitionsOnFlatBox(t *testing.T) {
+	e := newTestEngine(t, Config{Rounds: 4, Planes: 0, Aggressiveness: 0.6}, 3)
+	obs := Observation{CovertRate: 9000, Threshold: 2000, LocalPlane: -1, BenignPlane: -1, TxPlane: -1, ThrottledPlane: -1}
+	tr := e.Step(obs)
+	if tr.Action != ActPartition {
+		t.Fatalf("flat-box detection at aggr 0.6 gave %v, want partition", tr.Action)
+	}
+	if tr.Cost != CostPartitionSetup+CostPartitionRound {
+		t.Errorf("partition round cost %g, want %g", tr.Cost, CostPartitionSetup+CostPartitionRound)
+	}
+	// With the partition standing, the same detection holds posture
+	// and pays the per-round tax.
+	obs.Partitioned = true
+	tr = e.Step(obs)
+	if tr.Action != ActNone || tr.Cost != CostPartitionRound {
+		t.Errorf("standing partition: action %v cost %g, want hold at %g", tr.Action, tr.Cost, CostPartitionRound)
+	}
+}
+
+func TestDefenderThrottleRepinEscalation(t *testing.T) {
+	e := newTestEngine(t, Config{Rounds: 6, Planes: 6, Aggressiveness: 0.5}, 4)
+	// Localized stream on plane 2: derate it.
+	obs := Observation{CovertRate: 9000, Threshold: 2000, LocalPlane: 2, BenignPlane: 5, TxPlane: 2, ThrottledPlane: -1}
+	tr := e.Step(obs)
+	if tr.Action != ActThrottlePlane || tr.ActPlane != 2 || tr.Factor != 3 {
+		t.Fatalf("localized detection gave %v plane %d factor %d, want throttle plane 2 factor 3", tr.Action, tr.ActPlane, tr.Factor)
+	}
+	// Benign pair rides the derated plane: repin it, avoiding both
+	// the derated plane and the localized one.
+	obs.ThrottledPlane, obs.ThrottleFactor = 2, 3
+	obs.BenignPlane = 2
+	obs.CovertRate = 100 // attacker gone quiet
+	tr = e.Step(obs)
+	if tr.Action != ActRepinVictim || tr.ActPlane != 0 {
+		t.Fatalf("benign on derated plane gave %v plane %d, want repin to 0", tr.Action, tr.ActPlane)
+	}
+	if tr.Cost != CostReroute+CostThrottleRound {
+		t.Errorf("repin cost %g, want %g (collateral ends with the repin)", tr.Cost, CostReroute+CostThrottleRound)
+	}
+	// Localized on a *different* plane: the throttle moves.
+	obs.BenignPlane, obs.VictimRepinned = 0, true
+	obs.CovertRate, obs.LocalPlane = 9000, 4
+	tr = e.Step(obs)
+	if tr.Action != ActThrottlePlane || tr.ActPlane != 4 {
+		t.Fatalf("re-localized detection gave %v plane %d, want throttle plane 4", tr.Action, tr.ActPlane)
+	}
+}
+
+func TestDefenderThresholdRetuning(t *testing.T) {
+	e := newTestEngine(t, Config{Rounds: 8, Planes: 0, Aggressiveness: 1}, 5)
+	// False positive without detection: raise.
+	obs := Observation{CovertRate: 100, BenignRate: 3000, Threshold: 2000, LocalPlane: -1, BenignPlane: -1, TxPlane: -1, ThrottledPlane: -1}
+	if tr := e.Step(obs); tr.Action != ActRaiseThreshold || tr.Cost != CostRetune {
+		t.Fatalf("false positive gave %v cost %g", tr.Action, tr.Cost)
+	}
+	// Two quiet rounds: tighten on the second.
+	obs.BenignRate = 100
+	if tr := e.Step(obs); tr.Action != ActNone {
+		t.Fatalf("first quiet round acted: %v", tr.Action)
+	}
+	if tr := e.Step(obs); tr.Action != ActLowerThreshold {
+		t.Fatalf("second quiet round gave %v, want lower-threshold", tr.Action)
+	}
+}
+
+func TestAttackerAdaptation(t *testing.T) {
+	e := newTestEngine(t, Config{Rounds: 10, Planes: 6, Aggressiveness: 0}, 6)
+	periods := core.BitPeriods()
+	// Clean channel: after two clean rounds the sender presses rate.
+	obs := Observation{CovertRate: 9000, Threshold: 20000, ErrPct: 0.5, TxPlane: 3, LocalPlane: -1, BenignPlane: -1, ThrottledPlane: -1}
+	tr := e.Step(obs)
+	if tr.BitPeriod != periods[1] || tr.FEC {
+		t.Fatalf("round 0: period %d fec %v", tr.BitPeriod, tr.FEC)
+	}
+	tr = e.Step(obs)
+	if tr.BitPeriod != periods[0] {
+		t.Fatalf("after 2 clean rounds period %d, want faster rung %d", tr.BitPeriod, periods[0])
+	}
+	// Moderate errors: FEC turns on before the rate drops.
+	obs.ErrPct = 15
+	tr = e.Step(obs)
+	if !tr.FEC || tr.BitPeriod != periods[0] {
+		t.Fatalf("err 15%%: fec %v period %d, want FEC at same rate", tr.FEC, tr.BitPeriod)
+	}
+	// Broken channel: slow down and hop off the current plane.
+	obs.ErrPct = 50
+	tr = e.Step(obs)
+	if tr.BitPeriod != periods[1] {
+		t.Fatalf("err 50%%: period %d, want slower rung %d", tr.BitPeriod, periods[1])
+	}
+	if tr.TxPlane == obs.TxPlane || tr.TxPlane < 0 || tr.TxPlane >= 6 {
+		t.Fatalf("err 50%%: hop landed on plane %d (was %d)", tr.TxPlane, obs.TxPlane)
+	}
+}
+
+func TestAttackerHopsOnGoodputCollapse(t *testing.T) {
+	e := newTestEngine(t, Config{Rounds: 4, Planes: 6}, 7)
+	obs := Observation{ErrPct: 5, GoodputMBps: 10, TxPlane: 1, LocalPlane: -1, BenignPlane: -1, ThrottledPlane: -1}
+	if tr := e.Step(obs); tr.TxPlane != 1 {
+		t.Fatalf("hopped without cause to %d", tr.TxPlane)
+	}
+	obs.GoodputMBps = 2 // collapsed vs last round's 10
+	if tr := e.Step(obs); tr.TxPlane == 1 {
+		t.Fatal("goodput collapse did not trigger a hop")
+	}
+}
+
+func TestEngineDeterminismAndReset(t *testing.T) {
+	run := func() []RoundTrace {
+		rng := xrand.New(99)
+		e, err := New(Config{Rounds: 8, Planes: 6, Aggressiveness: 0.75}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs := Observation{CovertRate: 9000, Threshold: 2000, ErrPct: 30, TxPlane: 1, LocalPlane: 1, BenignPlane: 5, ThrottledPlane: -1}
+		for i := 0; i < 8; i++ {
+			tr := e.Step(obs)
+			obs.TxPlane = tr.TxPlane
+			if tr.Action == ActThrottlePlane {
+				obs.ThrottledPlane = tr.ActPlane
+			}
+		}
+		out := make([]RoundTrace, len(e.Trace()))
+		copy(out, e.Trace())
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical seeds diverged")
+	}
+
+	// Reset rewinds in place without growing the trace backing array.
+	rng := xrand.New(99)
+	e, _ := New(Config{Rounds: 8, Planes: 6, Aggressiveness: 0.75}, rng)
+	obs := Observation{CovertRate: 9000, Threshold: 2000, ErrPct: 30, TxPlane: 1, LocalPlane: 1, BenignPlane: 5, ThrottledPlane: -1}
+	for i := 0; i < 8; i++ {
+		e.Step(obs)
+	}
+	e.Reset()
+	rng.Reseed(99)
+	if len(e.Trace()) != 0 {
+		t.Fatal("Reset left trace entries")
+	}
+	for i := 0; i < 8; i++ {
+		tr := e.Step(obs)
+		obs.TxPlane = tr.TxPlane
+		if tr.Action == ActThrottlePlane {
+			obs.ThrottledPlane = tr.ActPlane
+		}
+	}
+	if !reflect.DeepEqual(e.Trace(), a) {
+		t.Error("post-Reset replay diverged from fresh run")
+	}
+}
+
+func TestStepDoesNotAllocate(t *testing.T) {
+	e := newTestEngine(t, Config{Rounds: 64, Planes: 6, Aggressiveness: 0.75}, 11)
+	obs := Observation{CovertRate: 9000, Threshold: 2000, ErrPct: 30, TxPlane: 1, LocalPlane: 1, BenignPlane: 5, ThrottledPlane: -1}
+	i := 0
+	allocs := testing.AllocsPerRun(256, func() {
+		if i == 64 {
+			e.Reset()
+			i = 0
+		}
+		e.Step(obs)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Step allocated %.1f times per round", allocs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("empty trace summarized to %+v", s)
+	}
+	trace := []RoundTrace{
+		{Detected: true, GoodputMBps: 4, ErrPct: 2, Cost: 3},
+		{Detected: true, FalsePos: true, GoodputMBps: 2, ErrPct: 50, Cost: 11},
+		{GoodputMBps: 0, ErrPct: 50, Cost: 8},
+		{GoodputMBps: 2, ErrPct: 10, Cost: 8},
+	}
+	s := Summarize(trace)
+	want := Summary{Rounds: 4, DetectionRate: 0.5, FalsePosRate: 0.25, MeanGoodputMBps: 2, MeanErrPct: 28, DefenseCost: 30}
+	if s != want {
+		t.Errorf("Summarize = %+v, want %+v", s, want)
+	}
+}

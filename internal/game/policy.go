@@ -1,0 +1,184 @@
+// The two policies. Both are small deterministic state machines —
+// everything they may consume arrives in the round's Observation, and
+// the only randomness (the attacker's hop target) comes from the
+// engine's xrand stream.
+package game
+
+import (
+	"spybox/internal/arch"
+	"spybox/internal/core"
+	"spybox/internal/xrand"
+)
+
+// Defender thresholds on aggressiveness: how eager the policy is to
+// escalate from watching to derating to partitioning.
+const (
+	// aggrThrottle is the minimum aggressiveness to derate a
+	// localized plane.
+	aggrThrottle = 0.25
+	// aggrPartition is the minimum aggressiveness to partition when
+	// the stream cannot be throttled away (flat box or unlocalized).
+	aggrPartition = 0.5
+	// aggrPartitionFabric is the minimum aggressiveness to partition
+	// even though plane throttling is available.
+	aggrPartitionFabric = 0.9
+	// aggrTighten is the minimum aggressiveness to lower the
+	// threshold after quietRounds quiet rounds.
+	aggrTighten = 0.5
+	// quietRounds is how many consecutive quiet rounds precede a
+	// threshold tightening.
+	quietRounds = 2
+)
+
+// defender escalates standing measures while the stream persists and
+// retunes the threshold against the benign baseline.
+type defender struct {
+	aggr   float64
+	static bool
+	quiet  int
+}
+
+// decide picks this round's action. The plane operand is -1 for
+// non-plane actions; factor is only meaningful for ActThrottlePlane.
+func (d *defender) decide(obs *Observation, planes int, detected, fp bool) (act Action, plane, factor int) {
+	plane = -1
+	if d.static {
+		return ActNone, -1, 0
+	}
+	if detected || fp {
+		d.quiet = 0
+	}
+	if detected {
+		// Partition when throttling cannot reach the stream — flat
+		// box, or a fabric stream that would not localize (hopping) —
+		// or when the policy is aggressive enough to stack measures.
+		gate := aggrPartitionFabric
+		if planes == 0 || obs.LocalPlane < 0 {
+			gate = aggrPartition
+		}
+		if !obs.Partitioned && d.aggr >= gate {
+			return ActPartition, -1, 0
+		}
+		if planes > 0 && obs.LocalPlane >= 0 && obs.LocalPlane != obs.ThrottledPlane && d.aggr >= aggrThrottle {
+			return ActThrottlePlane, obs.LocalPlane, 2 + int(2*d.aggr)
+		}
+	}
+	// A standing derating that punishes the benign pair gets fixed
+	// whether or not this round alarmed.
+	if planes > 0 && obs.ThrottledPlane >= 0 && obs.BenignPlane == obs.ThrottledPlane && !obs.VictimRepinned {
+		return ActRepinVictim, pickRepinPlane(planes, obs.ThrottledPlane, obs.LocalPlane), 0
+	}
+	if detected {
+		return ActNone, -1, 0
+	}
+	if fp {
+		return ActRaiseThreshold, -1, 0
+	}
+	d.quiet++
+	if d.quiet >= quietRounds && d.aggr >= aggrTighten {
+		d.quiet = 0
+		return ActLowerThreshold, -1, 0
+	}
+	return ActNone, -1, 0
+}
+
+// pickRepinPlane returns the lowest plane that is neither derated nor
+// the one the stream was localized to — deterministic, so the
+// defender needs no randomness.
+func pickRepinPlane(planes, throttled, local int) int {
+	for p := 0; p < planes; p++ {
+		if p != throttled && p != local {
+			return p
+		}
+	}
+	return 0
+}
+
+// Attacker reaction thresholds on the raw channel bit error rate.
+const (
+	// errHopPct is the error rate past which the channel is broken
+	// enough to slow down and hop planes.
+	errHopPct = 25.0
+	// errFECPct is the error rate past which FEC turns on.
+	errFECPct = 10.0
+	// errCleanPct is the error rate under which the channel counts as
+	// clean; cleanRounds clean rounds in a row let the sender press
+	// its rate back up.
+	errCleanPct = 2.0
+	cleanRounds = 2
+	// goodputCollapse is the fraction of the previous round's goodput
+	// under which the sender suspects a derated route and hops.
+	goodputCollapse = 0.5
+)
+
+// attacker modulates the channel from its own feedback: pulse rate
+// over the core.BitPeriods ladder, Hamming FEC on/off, and plane
+// hopping on fabrics.
+type attacker struct {
+	periods     [4]arch.Cycles
+	idx         int
+	fec         bool
+	clean       int
+	lastGoodput float64
+}
+
+func newAttacker(start arch.Cycles) attacker {
+	a := attacker{periods: core.BitPeriods(), idx: 1}
+	if start > 0 {
+		for i, p := range a.periods {
+			if p == start {
+				a.idx = i
+			}
+		}
+	}
+	return a
+}
+
+// adapt updates the attacker state from this round's feedback and
+// returns the configuration for the next round. rng is only drawn
+// from when a hop actually happens, so the stream's trajectory is a
+// pure function of the observation sequence.
+func (a *attacker) adapt(rng *xrand.Source, obs *Observation, planes int) (period arch.Cycles, fec bool, txPlane int) {
+	hop := false
+	switch {
+	case obs.ErrPct > errHopPct:
+		if a.idx < len(a.periods)-1 {
+			a.idx++
+		}
+		hop = true
+		a.clean = 0
+	case obs.ErrPct > errFECPct:
+		if !a.fec {
+			a.fec = true
+		} else if a.idx < len(a.periods)-1 {
+			a.idx++
+		}
+		a.clean = 0
+	case obs.ErrPct < errCleanPct:
+		a.clean++
+		if a.clean >= cleanRounds {
+			if a.fec {
+				a.fec = false
+			} else if a.idx > 0 {
+				a.idx--
+			}
+			a.clean = 0
+		}
+	default:
+		a.clean = 0
+	}
+	if a.lastGoodput > 0 && obs.GoodputMBps < goodputCollapse*a.lastGoodput {
+		hop = true
+	}
+	a.lastGoodput = obs.GoodputMBps
+
+	txPlane = obs.TxPlane
+	if hop && planes > 1 {
+		next := rng.Intn(planes - 1)
+		if obs.TxPlane >= 0 && next >= obs.TxPlane {
+			next++
+		}
+		txPlane = next
+	}
+	return a.periods[a.idx], a.fec, txPlane
+}

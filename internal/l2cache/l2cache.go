@@ -141,6 +141,14 @@ type Cache struct {
 	fills     uint64
 	evictions uint64
 
+	// partWays restricts fills to the first partWays ways of every set
+	// while a runtime partition is active (0 = off, the whole set). The
+	// remaining ways stay invalid after the partition flush, shrinking
+	// the effective associativity — the paper's cache-partitioning
+	// mitigation as a live defense action rather than a build-time
+	// config.
+	partWays int
+
 	//spylint:allow resetcomplete derived geometry, recomputed only when cfg changes
 	lineShift int
 	//spylint:allow resetcomplete derived geometry, recomputed only when cfg changes
@@ -262,9 +270,36 @@ func (c *Cache) Contains(pa arch.PA) bool {
 	return false
 }
 
+// SetPartition restricts the cache to the first ways ways of every set
+// (0 restores full associativity). Repartitioning hardware invalidates
+// residency, so the cache is flushed on every change. While active,
+// fills never touch ways at or beyond the boundary, so an eviction set
+// sized for the full associativity self-thrashes — the defender's
+// runtime partition lever.
+func (c *Cache) SetPartition(ways int) error {
+	if ways < 0 || ways > c.cfg.Ways {
+		return fmt.Errorf("l2cache: partition of %d ways outside [0,%d]", ways, c.cfg.Ways)
+	}
+	if ways == c.cfg.Ways {
+		ways = 0
+	}
+	if ways == c.partWays {
+		return nil
+	}
+	c.partWays = ways
+	c.Flush()
+	return nil
+}
+
+// PartitionWays returns the active partition width (0 = full set).
+func (c *Cache) PartitionWays() int { return c.partWays }
+
 // fillLine inserts the tag into the set, evicting if necessary.
 func (c *Cache) fillLine(set int, tag uint64) {
 	ws := c.set(set)
+	if c.partWays > 0 {
+		ws = ws[:c.partWays]
+	}
 	victim := -1
 	for i := range ws {
 		if !ws[i].valid {
@@ -328,6 +363,7 @@ func (c *Cache) Flush() {
 func (c *Cache) Reset(parent *xrand.Source) {
 	c.Flush()
 	c.stamp = 0
+	c.partWays = 0
 	c.ResetStats()
 	if parent != nil {
 		if c.rng == nil {

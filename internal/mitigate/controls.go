@@ -1,0 +1,128 @@
+// The defender's actuators. Sec. VII stops at detection; an online
+// defense must also *act*. Controls bundles the management-plane
+// levers a box operator actually holds — the detection threshold, the
+// fabric manager's per-plane service rate and route table, and the
+// suspect GPU's L2 partition — behind one object the game engine's
+// Defender policy drives between rounds. Every lever is reversible
+// and all underlying state is cleared by Machine.Reset, so pooled
+// machines never leak a trial's defense posture.
+package mitigate
+
+import (
+	"fmt"
+
+	"spybox/internal/arch"
+	"spybox/internal/sim"
+)
+
+// Controls is the defender's handle on one machine: a detection
+// threshold plus the runtime throttle/route/partition levers.
+type Controls struct {
+	m       *sim.Machine
+	suspect arch.DeviceID // GPU whose L2 hosts the suspected channel
+
+	threshold float64 // txns/Mcycle, the Detect decision boundary
+	floor     float64 // threshold never drops below this
+	throttled int     // plane currently derated, -1 if none
+	factor    int     // active derating factor
+	part      bool    // suspect L2 partition active
+}
+
+// NewControls wires a control plane for m with the given starting
+// detection threshold; suspect is the GPU whose L2 the partition
+// lever targets (on the paper's channel, the trojan's home GPU).
+func NewControls(m *sim.Machine, suspect arch.DeviceID, threshold float64) (*Controls, error) {
+	if suspect < 0 || int(suspect) >= m.NumGPUs() {
+		return nil, fmt.Errorf("mitigate: no device %v", suspect)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("mitigate: threshold must be positive, got %g", threshold)
+	}
+	return &Controls{
+		m: m, suspect: suspect,
+		threshold: threshold,
+		floor:     threshold / 8,
+		throttled: -1,
+	}, nil
+}
+
+// Threshold returns the current detection threshold in txns/Mcycle.
+func (c *Controls) Threshold() float64 { return c.threshold }
+
+// ScaleThreshold multiplies the detection threshold by factor,
+// clamped to the floor (an eighth of the starting value, so a jumpy
+// policy cannot tune itself into alarming on background noise).
+func (c *Controls) ScaleThreshold(factor float64) {
+	if factor <= 0 {
+		return
+	}
+	c.threshold *= factor
+	if c.threshold < c.floor {
+		c.threshold = c.floor
+	}
+}
+
+// ThrottlePlane derates one switch plane by factor, releasing any
+// previously derated plane first (the fabric manager reprograms one
+// plane at a time).
+func (c *Controls) ThrottlePlane(plane, factor int) error {
+	topo := c.m.Topology()
+	if c.throttled >= 0 && c.throttled != plane {
+		if err := topo.ThrottlePlane(c.throttled, 1); err != nil {
+			return err
+		}
+		c.throttled = -1
+	}
+	if err := topo.ThrottlePlane(plane, factor); err != nil {
+		return err
+	}
+	c.throttled, c.factor = plane, factor
+	return nil
+}
+
+// Unthrottle restores full service on the derated plane, if any.
+func (c *Controls) Unthrottle() error {
+	if c.throttled < 0 {
+		return nil
+	}
+	if err := c.m.Topology().ThrottlePlane(c.throttled, 1); err != nil {
+		return err
+	}
+	c.throttled, c.factor = -1, 0
+	return nil
+}
+
+// ThrottledPlane returns the derated plane and its factor, or (-1, 0).
+func (c *Controls) ThrottledPlane() (plane, factor int) {
+	if c.throttled < 0 {
+		return -1, 0
+	}
+	return c.throttled, c.factor
+}
+
+// RepinPair re-routes the pair (a, b) onto the given plane — the
+// defender moving a benign victim's traffic off a derated plane so
+// the derating punishes only the suspect stream.
+func (c *Controls) RepinPair(a, b arch.DeviceID, plane int) error {
+	return c.m.Topology().PinPlane(a, b, plane)
+}
+
+// SetPartition toggles a half-associativity partition on the suspect
+// GPU's L2. While on, eviction sets sized for the full associativity
+// self-thrash (the spy's probes all miss), collapsing the channel
+// without touching NVLink traffic — detection stays intact.
+func (c *Controls) SetPartition(on bool) error {
+	l2 := c.m.Device(c.suspect).L2()
+	ways := 0
+	if on {
+		ways = l2.Config().Ways / 2
+	}
+	if err := l2.SetPartition(ways); err != nil {
+		return err
+	}
+	c.part = on
+	return nil
+}
+
+// Partitioned reports whether the suspect L2 partition is active.
+func (c *Controls) Partitioned() bool { return c.part }

@@ -1,0 +1,227 @@
+package mitigate
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"spybox/internal/arch"
+	"spybox/internal/sim"
+)
+
+// The detector statistics were only exercised end to end through the
+// sec7/armsrace experiments; these tables pin their edge behaviour
+// directly: empty samplers, degenerate windows, single planes, ties.
+
+func winPlanes(rates ...uint64) Observation {
+	return Observation{PlaneTxns: rates}
+}
+
+func TestDetectTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		txns      uint64
+		window    arch.Cycles
+		threshold float64
+		want      bool
+	}{
+		{"zero window never detects", 1 << 40, 0, 1, false},
+		{"zero traffic under any threshold", 0, 1_000_000, 0.001, false},
+		{"rate exactly at threshold is benign", 2000, 1_000_000, 2000, false},
+		{"rate just above threshold alarms", 2001, 1_000_000, 2000, true},
+		{"short window amplifies rate", 300, 100_000, 2000, true},
+		{"long window dilutes the same count", 300, 10_000_000, 2000, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			obs := Observation{MaxLinkTxns: c.txns}
+			if got := Detect(obs, c.window, c.threshold); got != c.want {
+				t.Errorf("Detect(%d txns, %d cycles, thr %g) = %v, want %v",
+					c.txns, c.window, c.threshold, got, c.want)
+			}
+		})
+	}
+}
+
+func TestPlaneMedianRatesTable(t *testing.T) {
+	const iv = 1_000_000 // 1 Mcycle: counts are rates verbatim
+	cases := []struct {
+		name    string
+		windows []Observation
+		want    []float64
+	}{
+		{"no windows", nil, nil},
+		{"windows without a fabric", []Observation{{MaxLinkTxns: 9}}, nil},
+		{"single plane single window", []Observation{winPlanes(70)}, []float64{70}},
+		{
+			"median picks the sustained rate over one burst",
+			[]Observation{winPlanes(10), winPlanes(10), winPlanes(9000)},
+			[]float64{10},
+		},
+		{
+			"per-plane medians are independent",
+			[]Observation{winPlanes(100, 1), winPlanes(300, 3), winPlanes(200, 2)},
+			[]float64{200, 2},
+		},
+		{
+			"tied rates keep the tie",
+			[]Observation{winPlanes(50, 50), winPlanes(50, 50)},
+			[]float64{50, 50},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := &Sampler{interval: iv, windows: c.windows}
+			if got := s.PlaneMedianRates(); !reflect.DeepEqual(got, c.want) {
+				t.Errorf("PlaneMedianRates() = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestLocalizePlaneTable(t *testing.T) {
+	const iv = 1_000_000
+	cases := []struct {
+		name      string
+		windows   []Observation
+		threshold float64
+		wantPlane int
+		wantRate  float64
+	}{
+		{"no windows", nil, 1, -1, 0},
+		{"no fabric", []Observation{{MaxLinkTxns: 9000}}, 1, -1, 0},
+		{"single hot plane localizes", []Observation{winPlanes(5000)}, 1000, 0, 5000},
+		{"single plane below threshold stays unlocalized", []Observation{winPlanes(500)}, 1000, -1, 0},
+		{"single plane exactly at threshold stays unlocalized", []Observation{winPlanes(1000)}, 1000, -1, 0},
+		{
+			"dominant plane localizes over quiet peers",
+			[]Observation{winPlanes(100, 5000, 200)},
+			1000, 1, 5000,
+		},
+		{
+			"tied planes cannot be dominant",
+			[]Observation{winPlanes(5000, 5000)},
+			1000, -1, 0,
+		},
+		{
+			"runner-up within the dominance ratio blocks localization",
+			[]Observation{winPlanes(5000, 2000)},
+			1000, -1, 0,
+		},
+		{
+			"runner-up at exactly 1/4 still qualifies",
+			[]Observation{winPlanes(8000, 2000)},
+			1000, 0, 8000,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := &Sampler{interval: iv, windows: c.windows}
+			plane, rate := s.LocalizePlane(c.threshold)
+			if plane != c.wantPlane || math.Abs(rate-c.wantRate) > 1e-9 {
+				t.Errorf("LocalizePlane(%g) = (%d, %g), want (%d, %g)",
+					c.threshold, plane, rate, c.wantPlane, c.wantRate)
+			}
+		})
+	}
+}
+
+func TestControls(t *testing.T) {
+	prof := arch.V100DGX2()
+	m := sim.MustNewMachine(sim.Options{Seed: 40, Profile: &prof, NoiseOff: true})
+	if _, err := NewControls(m, 99, 2000); err == nil {
+		t.Error("out-of-range suspect accepted")
+	}
+	if _, err := NewControls(m, 0, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	c, err := NewControls(m, 0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The threshold scales but never drops through its floor.
+	c.ScaleThreshold(2)
+	if c.Threshold() != 4000 {
+		t.Errorf("threshold = %g, want 4000", c.Threshold())
+	}
+	for i := 0; i < 20; i++ {
+		c.ScaleThreshold(0.5)
+	}
+	if c.Threshold() != 2000.0/8 {
+		t.Errorf("threshold = %g, want floor %g", c.Threshold(), 2000.0/8)
+	}
+
+	// Throttling plane 3 then plane 1 releases plane 3.
+	if err := c.ThrottlePlane(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m.Topology().PlaneThrottle(3) != 4 {
+		t.Error("plane 3 not derated")
+	}
+	if err := c.ThrottlePlane(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Topology().PlaneThrottle(3) != 1 || m.Topology().PlaneThrottle(1) != 2 {
+		t.Errorf("throttles: plane3=%d plane1=%d, want 1 and 2",
+			m.Topology().PlaneThrottle(3), m.Topology().PlaneThrottle(1))
+	}
+	if plane, factor := c.ThrottledPlane(); plane != 1 || factor != 2 {
+		t.Errorf("ThrottledPlane() = (%d, %d), want (1, 2)", plane, factor)
+	}
+	if err := c.Unthrottle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Topology().PlaneThrottle(1) != 1 {
+		t.Error("Unthrottle left plane 1 derated")
+	}
+
+	// The partition halves the suspect's L2 associativity and is
+	// reversible; Machine.Reset clears it wholesale.
+	if err := c.SetPartition(true); err != nil {
+		t.Fatal(err)
+	}
+	l2 := m.Device(0).L2()
+	if !c.Partitioned() || l2.PartitionWays() != l2.Config().Ways/2 {
+		t.Errorf("partition ways = %d, want %d", l2.PartitionWays(), l2.Config().Ways/2)
+	}
+	if err := c.SetPartition(false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Partitioned() || l2.PartitionWays() != 0 {
+		t.Error("partition not released")
+	}
+}
+
+// TestResetClearsRuntimeLevers pins the pooling contract: a machine
+// handed back with pins, throttles, and a partition active must be
+// indistinguishable from fresh after Reset.
+func TestResetClearsRuntimeLevers(t *testing.T) {
+	prof := arch.V100DGX2()
+	m := sim.MustNewMachine(sim.Options{Seed: 41, Profile: &prof, NoiseOff: true})
+	topo := m.Topology()
+	defRoute := topo.PlaneFor(1, 0)
+	hop := (defRoute + 1) % topo.NumPlanes()
+	if err := topo.PinPlane(1, 0, hop); err != nil {
+		t.Fatal(err)
+	}
+	if topo.PlaneFor(1, 0) != hop || topo.PlaneFor(0, 1) != hop {
+		t.Fatalf("pin not symmetric: %d/%d", topo.PlaneFor(1, 0), topo.PlaneFor(0, 1))
+	}
+	if err := topo.ThrottlePlane(2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Device(0).L2().SetPartition(4); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset(41)
+	if got := topo.PlaneFor(1, 0); got != defRoute {
+		t.Errorf("route after Reset = %d, want default %d", got, defRoute)
+	}
+	if topo.PlaneThrottle(2) != 1 {
+		t.Error("throttle survived Reset")
+	}
+	if m.Device(0).L2().PartitionWays() != 0 {
+		t.Error("partition survived Reset")
+	}
+}

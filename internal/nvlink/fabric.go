@@ -22,6 +22,8 @@
 package nvlink
 
 import (
+	"fmt"
+
 	"spybox/internal/arch"
 )
 
@@ -77,6 +79,97 @@ type fabric struct {
 	planes  []*Plane
 	egress  [][]*Port // [gpu][plane]
 	ingress [][]*Port // [gpu][plane]
+
+	// Runtime routing state, nil until first touched so the default
+	// path stays byte-identical to a fabric without any overrides.
+	// pin holds a per-ordered-pair plane override ([src*numGPUs+dst],
+	// -1 = profile default route); throttle holds a per-plane service
+	// multiplier (0 or 1 = full speed). Both express management
+	// actions — an operator re-pinning a pair's route or derating one
+	// plane's port service — and are cleared by ResetRouting.
+	pin      []int
+	throttle []int
+}
+
+// ensurePins lazily allocates the pair-override table.
+func (t *Topology) ensurePins() []int {
+	if t.fab.pin == nil {
+		t.fab.pin = make([]int, t.numGPUs*t.numGPUs)
+		for i := range t.fab.pin {
+			t.fab.pin[i] = -1
+		}
+	}
+	return t.fab.pin
+}
+
+// PinPlane routes the unordered pair (a, b) over the given switch
+// plane instead of its profile-default route, modeling the fabric
+// manager reprogramming a route table. A negative plane restores the
+// default route for the pair. Both actors use it: the defender re-pins
+// benign victim traffic off a derated plane, the attacker hops its
+// covert stream between planes.
+func (t *Topology) PinPlane(a, b arch.DeviceID, plane int) error {
+	if t.fab == nil {
+		return fmt.Errorf("nvlink: PinPlane needs a switch fabric")
+	}
+	if a == b || a < 0 || b < 0 || int(a) >= t.numGPUs || int(b) >= t.numGPUs {
+		return fmt.Errorf("nvlink: PinPlane: bad pair %v-%v", a, b)
+	}
+	if plane >= len(t.fab.planes) {
+		return fmt.Errorf("nvlink: PinPlane: plane %d out of range (have %d)", plane, len(t.fab.planes))
+	}
+	if plane < 0 {
+		plane = -1
+	}
+	pin := t.ensurePins()
+	pin[int(a)*t.numGPUs+int(b)] = plane
+	pin[int(b)*t.numGPUs+int(a)] = plane
+	return nil
+}
+
+// ThrottlePlane derates one switch plane: every port reservation on it
+// holds its service slot factor times longer, modeling the fabric
+// manager reducing the plane's service rate. Factor <= 1 restores full
+// speed.
+func (t *Topology) ThrottlePlane(plane, factor int) error {
+	if t.fab == nil {
+		return fmt.Errorf("nvlink: ThrottlePlane needs a switch fabric")
+	}
+	if plane < 0 || plane >= len(t.fab.planes) {
+		return fmt.Errorf("nvlink: ThrottlePlane: plane %d out of range (have %d)", plane, len(t.fab.planes))
+	}
+	if t.fab.throttle == nil {
+		t.fab.throttle = make([]int, len(t.fab.planes))
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	t.fab.throttle[plane] = factor
+	return nil
+}
+
+// PlaneThrottle returns the service multiplier active on plane
+// (1 = full speed, also for planes never throttled or no fabric).
+func (t *Topology) PlaneThrottle(plane int) int {
+	if t.fab == nil || t.fab.throttle == nil || plane < 0 || plane >= len(t.fab.throttle) {
+		return 1
+	}
+	if f := t.fab.throttle[plane]; f > 1 {
+		return f
+	}
+	return 1
+}
+
+// ResetRouting clears every runtime pin and throttle, restoring the
+// profile-default routes and full-speed planes. Machine.Reset calls it
+// so pooled machines never leak one trial's management actions into
+// the next.
+func (t *Topology) ResetRouting() {
+	if t.fab == nil {
+		return
+	}
+	t.fab.pin = nil
+	t.fab.throttle = nil
 }
 
 // attachFabric builds plane and port state for the topology.
@@ -113,9 +206,16 @@ func (t *Topology) NumPlanes() int {
 // PlaneFor returns the switch plane the ordered pair (src, dst) is
 // pinned to, or -1 on point-to-point fabrics; the rule itself lives on
 // arch.FabricConfig so experiments and the topology can never disagree.
+// A runtime PinPlane override for the pair takes precedence over the
+// profile-default route.
 func (t *Topology) PlaneFor(src, dst arch.DeviceID) int {
 	if t.fab == nil {
 		return -1
+	}
+	if t.fab.pin != nil && src >= 0 && dst >= 0 && int(src) < t.numGPUs && int(dst) < t.numGPUs {
+		if p := t.fab.pin[int(src)*t.numGPUs+int(dst)]; p >= 0 {
+			return p
+		}
 	}
 	return t.fab.cfg.PlaneFor(src, dst)
 }
@@ -197,7 +297,7 @@ func (t *Topology) ReserveBurst(src, dst arch.DeviceID, n int, now arch.Cycles) 
 	}
 	f := t.fab
 	plane := t.PlaneFor(src, dst)
-	hold := arch.Cycles(n) * f.cfg.PortService
+	hold := arch.Cycles(n) * f.cfg.PortService * arch.Cycles(t.PlaneThrottle(plane))
 	egWait := f.egress[src][plane].reserve(now, hold)
 	// The burst reaches the ingress port after clearing egress
 	// (including its wait) and crossing the switch plane.

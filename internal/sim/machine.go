@@ -185,6 +185,7 @@ func (m *Machine) Reset(seed uint64) {
 	m.phys.Reset()
 	m.topo.ResetStats()
 	m.topo.ResetPortClocks()
+	m.topo.ResetRouting()
 	for i, d := range m.devices {
 		d.Reset(m.root)
 		clear(m.peerEnabled[i])

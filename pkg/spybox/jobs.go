@@ -98,6 +98,13 @@ type JobSpec struct {
 	// thousand-job sweep cannot starve other submitters. Client never
 	// affects results and is excluded from the result cache key.
 	Client string `json:"client,omitempty"`
+	// Priority orders claiming: higher-priority jobs are leased ahead
+	// of the round-robin fairness rotation, which only applies among
+	// the groups whose best waiting priority ties. The default 0 is
+	// the bulk tier; an interactive submitter can jump a queued sweep
+	// with any positive value. Priority never affects results and is
+	// excluded from the result cache key.
+	Priority int `json:"priority,omitempty"`
 }
 
 // JobStatus is the observable state of a job. Progress counts whole

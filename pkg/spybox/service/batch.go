@@ -36,6 +36,8 @@ type BatchSpec struct {
 	// Client overrides the batch ID as the fairness group, letting one
 	// submitter's many batches share a single round-robin slot.
 	Client string `json:"client,omitempty"`
+	// Priority stamps every expanded job; see JobSpec.Priority.
+	Priority int `json:"priority,omitempty"`
 }
 
 // BatchStatus aggregates a batch's jobs: the member IDs in submission
@@ -91,6 +93,7 @@ func expandBatch(spec BatchSpec, limit int) ([]spybox.JobSpec, error) {
 					Arch:        spec.Arch,
 					Parallel:    spec.Parallel,
 					Client:      spec.Client,
+					Priority:    spec.Priority,
 				})
 				if err != nil {
 					return nil, err

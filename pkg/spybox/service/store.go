@@ -124,10 +124,12 @@ type Store interface {
 	// and returns it. Runnable means non-terminal with no live lease:
 	// a queued job, or a running job whose worker stopped renewing
 	// (crashed) — the caller re-runs the latter from scratch.
-	// Candidates are picked round-robin across fairness groups
+	// Candidates with the highest Spec.Priority go first; among the
+	// tied groups they are picked round-robin across fairness groups
 	// (Spec.Client, else Status.Batch, else the shared interactive
 	// slot), oldest-first within a group, so one huge batch cannot
-	// starve other submitters. ok is false when nothing is runnable.
+	// starve other submitters and an urgent job cannot wait out a
+	// queued sweep. ok is false when nothing is runnable.
 	Claim(owner string, ttl time.Duration) (rec Record, ok bool, err error)
 	// Renew extends owner's lease on id by ttl from now. It fails
 	// with ErrNotOwner when owner no longer holds the lease and with
@@ -270,9 +272,16 @@ func fairnessGroup(rec *Record) string {
 
 // pickClaim chooses the next runnable job at instant now, compacting
 // the pending set as it scans, without mutating any record. ok is
-// false when nothing is runnable.
+// false when nothing is runnable. Priority trumps fairness: only the
+// groups whose best waiting job ties the highest priority enter the
+// round-robin rotation, and within a group the oldest job at that
+// priority is served (submission order breaks ties).
 func (t *jobTable) pickClaim(now time.Time) (spybox.JobID, bool) {
-	oldest := map[string]spybox.JobID{} // fairness group -> first runnable ID
+	type candidate struct {
+		id   spybox.JobID
+		prio int
+	}
+	best := map[string]candidate{} // fairness group -> top-priority, oldest runnable
 	var groups []string
 	live := t.pending[:0]
 	for _, id := range t.pending {
@@ -285,27 +294,45 @@ func (t *jobTable) pickClaim(now time.Time) (spybox.JobID, bool) {
 			continue // another worker is on it
 		}
 		g := fairnessGroup(rec)
-		if _, seen := oldest[g]; !seen {
-			oldest[g] = id
+		prev, seen := best[g]
+		if !seen {
+			best[g] = candidate{id: id, prio: rec.Status.Spec.Priority}
 			groups = append(groups, g)
+		} else if rec.Status.Spec.Priority > prev.prio {
+			// Strictly higher only: at equal priority the earlier
+			// submission keeps the slot (oldest-first within a group).
+			best[g] = candidate{id: id, prio: rec.Status.Spec.Priority}
 		}
 	}
 	t.pending = live
 	if len(groups) == 0 {
 		return "", false
 	}
-	// Serve the first group strictly after the cursor in sorted cyclic
-	// order, so successive claims rotate across every waiting group.
-	sort.Strings(groups)
-	next := groups[0]
+	maxPrio := best[groups[0]].prio
+	for _, g := range groups[1:] {
+		if p := best[g].prio; p > maxPrio {
+			maxPrio = p
+		}
+	}
+	top := groups[:0]
 	for _, g := range groups {
+		if best[g].prio == maxPrio {
+			top = append(top, g)
+		}
+	}
+	// Serve the first tied group strictly after the cursor in sorted
+	// cyclic order, so successive claims rotate across every waiting
+	// group of the leading priority.
+	sort.Strings(top)
+	next := top[0]
+	for _, g := range top {
 		if g > t.cursor {
 			next = g
 			break
 		}
 	}
 	t.cursor = next
-	return oldest[next], true
+	return best[next].id, true
 }
 
 // setLease stamps (or clears, with a nil lease) the lease on id.

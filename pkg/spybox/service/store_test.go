@@ -506,3 +506,50 @@ func TestClaimFairness(t *testing.T) {
 		}
 	}
 }
+
+// TestClaimPriority: a high-priority interactive job submitted after
+// a queued sweep is claimed first, ahead of the fairness rotation;
+// equal priorities keep submission order within a group; and once the
+// urgent work drains, the bulk tier resumes round-robin.
+func TestClaimPriority(t *testing.T) {
+	s := NewMemStore()
+	put := func(id, batch string, prio int) {
+		r := rec(id, spybox.JobQueued)
+		r.Status.Batch = batch
+		r.Status.Spec.Priority = prio
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A whole sweep lands first, then an urgent interactive job, then
+	// a second interactive job at the same urgency.
+	for i := 1; i <= 4; i++ {
+		put("job-"+string(rune('0'+i)), "batch-1", 0)
+	}
+	put("job-5", "", 5) // interactive, urgent
+	put("job-6", "", 5) // interactive, equally urgent, later
+
+	var order []spybox.JobID
+	for {
+		got, ok, err := s.Claim("w", time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		order = append(order, got.Status.ID)
+	}
+	if len(order) != 6 {
+		t.Fatalf("claimed %d jobs, want 6", len(order))
+	}
+	// The urgent jobs overtake the entire queued sweep, oldest first.
+	if order[0] != "job-5" || order[1] != "job-6" {
+		t.Errorf("priority jobs did not overtake the sweep: claim order %v", order)
+	}
+	for _, id := range order[2:] {
+		if got := s.tbl.byID[id].Status.Batch; got != "batch-1" {
+			t.Errorf("unexpected job %s (group %q) in the bulk tail of %v", id, got, order)
+		}
+	}
+}

@@ -32,8 +32,8 @@ func TestOpenValidation(t *testing.T) {
 
 func TestExperimentsMetadata(t *testing.T) {
 	infos := Experiments()
-	if len(infos) != 19 {
-		t.Fatalf("%d experiments, want 19", len(infos))
+	if len(infos) != 20 {
+		t.Fatalf("%d experiments, want 20", len(infos))
 	}
 	for _, e := range infos {
 		if e.ID == "" || e.Title == "" || e.Trials == "" || len(e.HeadlineMetrics) == 0 {

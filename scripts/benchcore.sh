@@ -20,7 +20,7 @@ merge="${3:-}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkSchedulerEvents|BenchmarkRunnerTrials|BenchmarkMachineReset|BenchmarkProbeAlloc' -benchmem -benchtime 1s . | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkSchedulerEvents|BenchmarkRunnerTrials|BenchmarkMachineReset|BenchmarkProbeAlloc|BenchmarkGameRound' -benchmem -benchtime 1s . | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkFabricTraversal' -benchmem -benchtime 1s ./internal/nvlink | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkServiceSubmit' -benchmem -benchtime 1s ./pkg/spybox/service | tee -a "$tmp"
 

@@ -41,6 +41,7 @@ var Packages = []string{
 	"spybox/internal/hbm",
 	"spybox/internal/vmem",
 	"spybox/internal/core",
+	"spybox/internal/game",
 	"spybox/internal/expt",
 }
 
