@@ -189,6 +189,7 @@ func (kn *KNN) Predict(x []float64) int {
 		votes[n.y]++
 	}
 	best, bestN := -1, -1
+	//spylint:allow detrand order-independent fold: max vote count with smallest-class tie-break
 	for y, n := range votes {
 		if n > bestN || (n == bestN && y < best) {
 			best, bestN = y, n

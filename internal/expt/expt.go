@@ -139,6 +139,7 @@ func (p Params) ctx() context.Context {
 	if p.Ctx != nil {
 		return p.Ctx
 	}
+	//spylint:allow ctxflow documented nil-ctx default: an unset Params.Ctx means the run is never cancelled
 	return context.Background()
 }
 

@@ -78,6 +78,8 @@ func (e *Engine) Trace() []RoundTrace { return e.trace }
 // records and returns the round. The defender and attacker both
 // decide from the same observation — neither sees the other's move
 // until the next round, which is what makes it a game.
+//
+//spylint:hotpath
 func (e *Engine) Step(obs Observation) RoundTrace {
 	detected := obs.CovertRate > obs.Threshold
 	fp := obs.BenignRate > obs.Threshold

@@ -237,6 +237,8 @@ func (c *Cache) tagOf(pa arch.PA) uint64 {
 // the LRU stamp refreshes; on a miss the line is filled, evicting per
 // the replacement policy. It returns whether the access hit and which
 // set it touched.
+//
+//spylint:hotpath
 func (c *Cache) Access(pa arch.PA) (hit bool, set int) {
 	set = c.SetIndex(pa)
 	tag := c.tagOf(pa)

@@ -172,10 +172,16 @@ type Observation struct {
 func (d *Detector) Sample() Observation {
 	cur := d.snapshot()
 	var obs Observation
+	// The fold is order-independent: the sum is commutative, and the
+	// max tie-breaks on the smaller link pair so two equally busy
+	// links always report the same MaxLink.
+	//spylint:allow detrand order-independent fold: commutative sum, max with smallest-pair tie-break
 	for k, v := range cur {
 		delta := v - d.prev[k]
 		obs.TotalTxns += delta
-		if delta > obs.MaxLinkTxns {
+		tieButSmaller := delta == obs.MaxLinkTxns && delta > 0 &&
+			(k[0] < obs.MaxLink[0] || (k[0] == obs.MaxLink[0] && k[1] < obs.MaxLink[1]))
+		if delta > obs.MaxLinkTxns || tieButSmaller {
 			obs.MaxLinkTxns = delta
 			obs.MaxLink = k
 		}

@@ -5,6 +5,7 @@ import (
 
 	"spybox/internal/arch"
 	"spybox/internal/cudart"
+	"spybox/internal/nvlink"
 	"spybox/internal/sim"
 )
 
@@ -236,5 +237,33 @@ func TestSamplerMedianVsPeak(t *testing.T) {
 	}
 	if s.MedianMaxLinkRate() > 1000 {
 		t.Errorf("median %.0f too high for a one-shot burst", s.MedianMaxLinkRate())
+	}
+}
+
+// TestSampleMaxLinkTieBreaksDeterministically pins the Sample fold's
+// tie-break: when two links carry identical deltas, MaxLink must name
+// the smaller (A, B) pair regardless of map iteration order.
+func TestSampleMaxLinkTieBreaksDeterministically(t *testing.T) {
+	topo, err := nvlink.NewCustom(4, [][2]arch.DeviceID{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		det := NewDetector(topo)
+		for _, l := range topo.Links() {
+			if (l.A == 1 && l.B == 2) || (l.A == 2 && l.B == 3) {
+				l.Transactions += 100 // two equally busy links
+			}
+		}
+		obs := det.Sample()
+		if obs.MaxLinkTxns != 100 {
+			t.Fatalf("MaxLinkTxns = %d, want 100", obs.MaxLinkTxns)
+		}
+		if want := ([2]arch.DeviceID{1, 2}); obs.MaxLink != want {
+			t.Fatalf("trial %d: MaxLink = %v, want %v (smaller pair on tie)", trial, obs.MaxLink, want)
+		}
+		if obs.TotalTxns != 200 {
+			t.Fatalf("TotalTxns = %d, want 200", obs.TotalTxns)
+		}
 	}
 }

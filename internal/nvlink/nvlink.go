@@ -13,10 +13,20 @@
 package nvlink
 
 import (
+	"errors"
 	"fmt"
 
 	"spybox/internal/arch"
 )
+
+// ErrNotConnected reports a Traverse between GPUs with no direct
+// NVLink. A sentinel rather than a fmt.Errorf so the connectivity
+// check costs nothing on the sim hot path (hotalloc-vetted); the sim
+// panics on it with its own context, so the pair's identity is never
+// consumed from the message.
+//
+//spylint:allow detrand sentinel error, assigned once at init and never mutated
+var ErrNotConnected = errors.New("nvlink: source and destination GPUs are not connected by NVLink")
 
 // Link is one bidirectional NVLink connection between two GPUs.
 type Link struct {
@@ -208,7 +218,7 @@ func (t *Topology) Links() []*Link { return t.links }
 func (t *Topology) Traverse(src, dst arch.DeviceID, payload int) (arch.Cycles, error) {
 	l := t.LinkBetween(src, dst)
 	if l == nil {
-		return 0, fmt.Errorf("nvlink: %v and %v are not connected by NVLink", src, dst)
+		return 0, ErrNotConnected
 	}
 	l.Transactions++
 	l.Bytes += uint64(payload)

@@ -1,6 +1,7 @@
 package nvlink
 
 import (
+	"errors"
 	"testing"
 
 	"spybox/internal/arch"
@@ -76,6 +77,27 @@ func TestTraverse(t *testing.T) {
 	// Non-connected pair errors, like the CUDA runtime.
 	if _, err := topo.Traverse(0, 5, 128); err == nil {
 		t.Fatal("Traverse(0,5) should fail: not directly linked")
+	}
+}
+
+// TestTraverseNotConnectedSentinel pins the error contract of the
+// unconnected-pair path: a matchable sentinel, not a fresh formatted
+// error. Traverse sits on the simulator's hot path (Machine.service
+// probes it per remote access), so the failure branch must not
+// allocate either — a per-call fmt.Errorf here would show up in the
+// 0-allocs benchmarks only on topologies that actually take it.
+func TestTraverseNotConnectedSentinel(t *testing.T) {
+	topo := DGX1()
+	_, err := topo.Traverse(0, 5, 128)
+	if !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("Traverse(0,5) error = %v, want ErrNotConnected", err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := topo.Traverse(0, 5, 128); err == nil {
+			t.Fatal("Traverse(0,5) should fail")
+		}
+	}); allocs != 0 {
+		t.Errorf("Traverse error path allocates %.0f times per call, want 0", allocs)
 	}
 }
 

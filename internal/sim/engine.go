@@ -105,6 +105,8 @@ func (e *engine) register(w *Worker, body func(*Worker)) {
 // yield parks the worker with a pending request and blocks until the
 // engine has serviced it. The last runner to park hands control to the
 // engine with a single targeted signal.
+//
+//spylint:hotpath
 func (w *Worker) yield(req *request) {
 	e := w.eng
 	e.mu.Lock()
@@ -123,6 +125,8 @@ func (w *Worker) yield(req *request) {
 
 // runAll drives the engine until no workers remain. It must be called
 // from the host goroutine after workers are registered.
+//
+//spylint:hotpath
 func (e *engine) runAll(service func(*Worker, *request)) {
 	e.mu.Lock()
 	for {
@@ -144,7 +148,7 @@ func (e *engine) runAll(service func(*Worker, *request)) {
 		// Service while holding the engine lock: exactly one worker
 		// mutates shared hardware state at a time, in clock order.
 		if req != nil {
-			service(w, req)
+			service(w, req) //spylint:allow hotalloc the only service implementation is Machine.service, itself vetted as a //spylint:hotpath root
 		}
 		w.state = stateRunning
 		e.running++

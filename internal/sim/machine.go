@@ -547,6 +547,8 @@ func (m *Machine) reserveBursts(w *Worker, bursts []homeBurst) arch.Cycles {
 }
 
 // service applies one request to shared hardware state.
+//
+//spylint:hotpath
 func (m *Machine) service(w *Worker, req *request) {
 	switch req.kind {
 	case opYield:
@@ -565,8 +567,8 @@ func (m *Machine) service(w *Worker, req *request) {
 		w.clock += lat
 	case opProbe:
 		if n := len(req.pas); cap(req.lats) < n {
-			req.lats = make([]arch.Cycles, n)
-			req.hits = make([]bool, n)
+			req.lats = make([]arch.Cycles, n) //spylint:allow hotalloc grow-only scratch: capacity is kept on the pooled request and reused by every later probe
+			req.hits = make([]bool, n)        //spylint:allow hotalloc grow-only scratch: capacity is kept on the pooled request and reused by every later probe
 		} else {
 			req.lats = req.lats[:n]
 			req.hits = req.hits[:n]
@@ -654,7 +656,9 @@ func (m *Machine) accessLine(w *Worker, pa arch.PA) (arch.Cycles, bool) {
 	if remote {
 		hop, err := m.topo.Traverse(w.dev, home, m.lineSize)
 		if err != nil {
-			panic(fmt.Sprintf("sim: %v", err))
+			// ErrNotConnected carries no pair identity (it is a
+			// sentinel so Traverse never allocates); add it here.
+			panic(fmt.Sprintf("sim: %v -> %v: %v", w.dev, home, err))
 		}
 		lat += hop
 		if !hit {

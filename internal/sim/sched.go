@@ -50,6 +50,8 @@ func (h *parkedHeap) swap(i, j int) {
 // doubles as a scheduler invariant: a worker must never be parked
 // twice without being serviced in between, and the whole heap is
 // re-verified after every mutation.
+//
+//spylint:hotpath
 func (h *parkedHeap) push(w *Worker) {
 	if simDebug && w.heapIdx != noHeapIdx {
 		panic("sim: worker parked while already in the scheduler heap")
@@ -82,6 +84,8 @@ func (h *parkedHeap) verify() {
 // popMin removes and returns the (clock, id)-minimal parked worker.
 // Returns nil on an empty heap; the engine treats that as an invariant
 // violation.
+//
+//spylint:hotpath
 func (h *parkedHeap) popMin() *Worker {
 	if len(h.ws) == 0 {
 		return nil

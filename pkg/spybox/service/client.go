@@ -122,6 +122,7 @@ func (c *Client) Batch(id string) (BatchStatus, error) {
 // ends), with the same gentle backoff as Wait.
 func (c *Client) WaitBatch(ctx context.Context, id string) (BatchStatus, error) {
 	if ctx == nil {
+		//spylint:allow ctxflow documented nil-ctx default: a nil ctx means poll until the batch is terminal
 		ctx = context.Background()
 	}
 	delay := 25 * time.Millisecond
@@ -161,6 +162,7 @@ func (c *Client) Jobs() ([]spybox.JobStatus, error) {
 // Events for live progress.
 func (c *Client) Wait(ctx context.Context, id spybox.JobID) (spybox.JobStatus, error) {
 	if ctx == nil {
+		//spylint:allow ctxflow documented nil-ctx default: a nil ctx means wait forever, per the JobService contract
 		ctx = context.Background()
 	}
 	delay := 25 * time.Millisecond
@@ -242,6 +244,7 @@ func (c *Client) Stats() (Stats, error) {
 // wait on the stream.
 func (c *Client) Events(ctx context.Context, id spybox.JobID, fn func(EventMsg)) (spybox.JobStatus, error) {
 	if ctx == nil {
+		//spylint:allow ctxflow documented nil-ctx default: a nil ctx means follow the stream to its final status
 		ctx = context.Background()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+string(id)+"/events", nil)

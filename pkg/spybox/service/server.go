@@ -236,7 +236,7 @@ func (h *handler) job(w http.ResponseWriter, r *http.Request, id spybox.JobID) {
 		}
 		writeJSON(w, http.StatusOK, status)
 	case http.MethodDelete:
-		if err := h.svc.Delete(id); err != nil {
+		if err := h.svc.Delete(r.Context(), id); err != nil {
 			writeServiceError(w, err)
 			return
 		}

@@ -335,6 +335,7 @@ func (s *Service) Jobs() ([]spybox.JobStatus, error) {
 // process are noticed within one poll interval.
 func (s *Service) Wait(ctx context.Context, id spybox.JobID) (spybox.JobStatus, error) {
 	if ctx == nil {
+		//spylint:allow ctxflow documented nil-ctx default: a nil ctx means wait forever, per the JobService contract
 		ctx = context.Background()
 	}
 	for {
@@ -416,7 +417,16 @@ func (s *Service) cancelLocked(id spybox.JobID) error {
 }
 
 // Delete cancels the job if it is still live and removes its record.
-func (s *Service) Delete(id spybox.JobID) error {
+// A job running in this process must finish persisting its partial
+// results before the record can be removed out from under it; ctx
+// bounds that wait (nil means wait indefinitely). The job stays
+// cancelled either way — on ctx expiry only the record removal is
+// abandoned.
+func (s *Service) Delete(ctx context.Context, id spybox.JobID) error {
+	if ctx == nil {
+		//spylint:allow ctxflow documented nil-ctx default: wait for the run to persist, as before the ctx parameter existed
+		ctx = context.Background()
+	}
 	s.mu.Lock()
 	if err := s.cancelLocked(id); err != nil {
 		s.mu.Unlock()
@@ -425,9 +435,11 @@ func (s *Service) Delete(id spybox.JobID) error {
 	rt := s.rt[id]
 	s.mu.Unlock()
 	if rt != nil {
-		// A running job must finish persisting its partial results
-		// before the record can be removed out from under it.
-		<-rt.done
+		select {
+		case <-rt.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	s.mu.Lock()
 	s.closeSubsLocked(id)
@@ -616,12 +628,22 @@ func (s *Service) runJob(claimed Record) {
 	default:
 	}
 	rec, ok, err := s.store.Get(id)
-	if err != nil || !ok || rec.Status.State.Terminal() {
-		// Deleted or cancelled between claim and here; a terminal Put
-		// already cleared the lease.
+	if err != nil {
+		// The claim is real even when the record cannot be read back
+		// (a transient store error): return it rather than squat on
+		// the lease until the TTL expires.
 		s.mu.Unlock()
+		_ = s.store.Release(id, s.owner)
 		return
 	}
+	if !ok || rec.Status.State.Terminal() {
+		// Deleted or cancelled between claim and here; the record is
+		// gone or a terminal Put already cleared the lease.
+		s.mu.Unlock()
+		//spylint:allow leaselife deleted or terminal record: the lease died with it, nothing to release
+		return
+	}
+	//spylint:allow ctxflow the job outlives the submitting request; cancellation routes through Cancel/Delete and lease loss, not a caller ctx
 	ctx, cancel := context.WithCancel(context.Background())
 	rt := &jobRT{cancel: cancel, done: make(chan struct{})}
 	s.rt[id] = rt
@@ -720,6 +742,7 @@ func (s *Service) runJob(claimed Record) {
 	}
 	rec, ok, _ = s.store.Get(id)
 	if !ok { // deleted mid-run; runtime state still needs closing out
+		//spylint:allow leaselife record deleted mid-run: the lease died with it, nothing to write or release
 		return
 	}
 	rec.Status.Done = len(results)
@@ -759,6 +782,7 @@ func (s *Service) publishCached(id spybox.JobID, exptID string) {
 // with the context's error if that takes longer.
 func (s *Service) Close(ctx context.Context) error {
 	if ctx == nil {
+		//spylint:allow ctxflow documented nil-ctx default: a nil ctx means drain without a deadline
 		ctx = context.Background()
 	}
 	s.mu.Lock()

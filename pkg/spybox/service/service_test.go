@@ -450,13 +450,13 @@ func TestDeleteForgetsJob(t *testing.T) {
 	if _, err := svc.Wait(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.Delete(id); err != nil {
+	if err := svc.Delete(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := svc.Job(id); !errors.Is(err, spybox.ErrNoJob) {
 		t.Errorf("deleted job still known: %v", err)
 	}
-	if err := svc.Delete(id); !errors.Is(err, spybox.ErrNoJob) {
+	if err := svc.Delete(context.Background(), id); !errors.Is(err, spybox.ErrNoJob) {
 		t.Errorf("double delete: %v", err)
 	}
 }
@@ -499,5 +499,99 @@ func TestWaitHonoursContext(t *testing.T) {
 	status, err := svc.Wait(context.Background(), id)
 	if err != nil || status.State != spybox.JobDone {
 		t.Errorf("job after abandoned Wait: %+v, %v", status, err)
+	}
+}
+
+// claimGetFailStore wraps a Store and fails the first Get that
+// follows the first successful Claim, simulating a transient store
+// read error in the claim-to-run window.
+type claimGetFailStore struct {
+	Store
+	mu      sync.Mutex
+	armed   bool // a Claim succeeded; the next Get fails
+	tripped bool // the one injected failure has been served
+}
+
+func (s *claimGetFailStore) Claim(owner string, ttl time.Duration) (Record, bool, error) {
+	rec, ok, err := s.Store.Claim(owner, ttl)
+	s.mu.Lock()
+	if ok && !s.tripped {
+		s.armed = true
+	}
+	s.mu.Unlock()
+	return rec, ok, err
+}
+
+func (s *claimGetFailStore) Get(id spybox.JobID) (Record, bool, error) {
+	s.mu.Lock()
+	if s.armed && !s.tripped {
+		s.armed, s.tripped = false, true
+		s.mu.Unlock()
+		return Record{}, false, errors.New("injected transient store failure")
+	}
+	s.mu.Unlock()
+	return s.Store.Get(id)
+}
+
+// TestTransientGetFailureReleasesClaim pins the claim-leak fix: when
+// the record cannot be read back right after Claim (a transient store
+// error), the worker must Release the claim rather than abandon the
+// job with the lease still held. With the Release the job returns to
+// the queue and completes promptly; without it the job sits leased
+// and unrun until the TTL expires — far beyond this test's deadline.
+func TestTransientGetFailureReleasesClaim(t *testing.T) {
+	t.Parallel()
+	st := &claimGetFailStore{Store: NewMemStore()}
+	svc := newTestService(t, Options{
+		Workers: 1,
+		Store:   st,
+		Poll:    20 * time.Millisecond,
+		// Recovery must come from the Release, not lease expiry.
+		LeaseTTL: time.Minute,
+	})
+	id, err := svc.Submit(smallSpec("fig4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "injected Get failure to be served", func() bool {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return st.tripped
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	status, err := svc.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("Wait after transient store failure: %v (claim was never released)", err)
+	}
+	if status.State != spybox.JobDone {
+		t.Fatalf("job state = %v, want JobDone", status.State)
+	}
+}
+
+// TestDeleteHonoursContext: Delete waiting for a running job to
+// persist gives up when the context does; the job stays cancelled
+// and a later unbounded Delete still removes the record.
+func TestDeleteHonoursContext(t *testing.T) {
+	t.Parallel()
+	svc := newTestService(t, Options{Workers: 1})
+	id, err := svc.Submit(spybox.JobSpec{Experiments: []string{"fig9"}, Scale: "default", Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "job to start", func() bool {
+		st, err := svc.Job(id)
+		return err == nil && st.State == spybox.JobRunning
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := svc.Delete(ctx, id); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("bounded Delete: %v", err)
+	}
+	if err := svc.Delete(context.Background(), id); err != nil {
+		t.Fatalf("unbounded Delete after bounded one: %v", err)
+	}
+	if _, err := svc.Job(id); !errors.Is(err, spybox.ErrNoJob) {
+		t.Errorf("deleted job still known: %v", err)
 	}
 }

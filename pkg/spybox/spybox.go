@@ -317,6 +317,7 @@ func (s *Session) Run(ctx context.Context, ids ...string) ([]*Result, error) {
 // tag never influences results.
 func (s *Session) RunJob(ctx context.Context, job JobID, ids ...string) ([]*Result, error) {
 	if ctx == nil {
+		//spylint:allow ctxflow documented nil-ctx default: a nil ctx means run to completion uncancelled
 		ctx = context.Background()
 	}
 	todo, err := resolve(ids)

@@ -1,0 +1,394 @@
+// Package ctxflow enforces context propagation in the library-facing
+// packages (pkg/spybox, pkg/spybox/service, internal/expt):
+//
+//   - an exported function or method that can block — channel sends,
+//     receives, default-less selects, time.Sleep, WaitGroup.Wait,
+//     Cond.Wait, or a call to any context-accepting function — must
+//     accept a context.Context as its first parameter. A parameter
+//     struct carrying a context.Context field (the expt.Params.Ctx
+//     pattern) also satisfies the rule;
+//   - inside a function that has a ctx parameter, every call to a
+//     context-accepting callee must be passed that ctx (or a context
+//     derived from it via context.With*), not a fresh one;
+//   - context.Background() / context.TODO() are flagged everywhere in
+//     these packages — they belong in main and in tests. A nil-ctx
+//     default or a job outliving its request carries
+//     `//spylint:allow ctxflow <reason>`.
+//
+// Test files are exempt.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spylint/internal/framework"
+)
+
+// targetPkgs are the packages whose APIs callers cancel.
+var targetPkgs = map[string]bool{
+	"spybox/pkg/spybox":         true,
+	"spybox/pkg/spybox/service": true,
+	"spybox/internal/expt":      true,
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "exported blocking APIs in the library packages must accept context.Context first " +
+		"and pass it to blocking callees; context.Background()/TODO() belong in main and tests",
+	Run: run,
+}
+
+func run(pass *framework.Pass) {
+	if !targetPkgs[pass.PkgPath] {
+		return
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	ctxParam := firstParamCtx(pass, fd)
+
+	// The Background/TODO ban and the pass-the-ctx rule apply to every
+	// function body here; the signature rule only to exported API.
+	banFreshContexts(pass, fd, ctxParam)
+	if ctxParam != nil {
+		checkCtxHandoff(pass, fd, ctxParam)
+	}
+
+	if ctxParam != nil || !isExportedAPI(pass, fd) {
+		return
+	}
+	if hasCtxStructParam(pass, fd) {
+		return
+	}
+	if why := blocksBecause(pass, fd); why != "" {
+		pass.Reportf(fd.Name.Pos(),
+			"exported API %s can block (%s) but takes no context.Context: accept a ctx as the first parameter (or a params struct with a Context field) so callers can cancel",
+			fd.Name.Name, why)
+	}
+}
+
+// banFreshContexts flags context.Background()/TODO() calls.
+func banFreshContexts(pass *framework.Pass, fd *ast.FuncDecl, ctxParam types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := contextPkgFunc(pass, call); name == "Background" || name == "TODO" {
+			hint := "thread the caller's ctx through instead"
+			if ctxParam == nil {
+				hint = "accept and thread a caller ctx instead"
+			}
+			pass.Reportf(call.Pos(), "context.%s() in library code detaches this work from caller cancellation; %s", name, hint)
+		}
+		return true
+	})
+}
+
+// checkCtxHandoff verifies that context-accepting callees receive the
+// incoming ctx or a derivation of it.
+func checkCtxHandoff(pass *framework.Pass, fd *ast.FuncDecl, ctxParam types.Object) {
+	derived := derivedCtxVars(pass, fd, ctxParam)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !calleeTakesCtx(pass, call) || len(call.Args) == 0 {
+			return true
+		}
+		arg := call.Args[0]
+		if name := contextPkgFunc(pass, argCall(arg)); name == "Background" || name == "TODO" {
+			return true // the Background/TODO ban already points here
+		}
+		if !ctxDerived(pass, arg, ctxParam, derived) {
+			pass.Reportf(arg.Pos(),
+				"%s drops the incoming ctx: pass the function's context.Context parameter (or a context derived from it) so cancellation propagates", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// derivedCtxVars computes the context-typed variables derived from
+// ctxParam: assigned from it, or from context.With*/context values
+// built on a derived one. One fixpoint pass handles chains declared
+// in source order (the overwhelmingly common case).
+func derivedCtxVars(pass *framework.Pass, fd *ast.FuncDecl, ctxParam types.Object) map[types.Object]bool {
+	derived := map[types.Object]bool{ctxParam: true}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) == 0 {
+				return true
+			}
+			// ctx2 := context.WithX(ctx, ...) / ctx2 := ctx
+			rhsDerived := false
+			for _, rhs := range as.Rhs {
+				if ctxDerived(pass, rhs, ctxParam, derived) {
+					rhsDerived = true
+				}
+			}
+			if !rhsDerived {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj != nil && isContextType(obj.Type()) && !derived[obj] {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// ctxDerived reports whether e evaluates to a context derived from
+// ctxParam.
+func ctxDerived(pass *framework.Pass, e ast.Expr, ctxParam types.Object, derived map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		return obj != nil && derived[obj]
+	case *ast.CallExpr:
+		// context.WithCancel(parent, ...) and friends derive from
+		// their first argument; so does any ctx-first call returning
+		// a context.
+		if len(e.Args) > 0 && (contextPkgFunc(pass, e) != "" || calleeTakesCtx(pass, e)) {
+			return ctxDerived(pass, e.Args[0], ctxParam, derived)
+		}
+	case *ast.ParenExpr:
+		return ctxDerived(pass, e.X, ctxParam, derived)
+	}
+	return false
+}
+
+// blocksBecause reports why fd can block, or "" if it provably
+// cannot. Function literals are excluded: work launched on a
+// goroutine does not block the caller.
+func blocksBecause(pass *framework.Pass, fd *ast.FuncDecl) string {
+	why := ""
+	var scan func(n ast.Node)
+	scan = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if why != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.SendStmt:
+				why = "channel send"
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					why = "channel receive"
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						why = "range over a channel"
+					}
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					why = "blocking select"
+					return false
+				}
+				// A select with a default polls: its comm clauses
+				// cannot block, but their bodies still might.
+				for _, c := range n.Body.List {
+					for _, st := range c.(*ast.CommClause).Body {
+						scan(st)
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				switch {
+				case isPkgCall(pass, n, "time", "Sleep"):
+					why = "time.Sleep"
+				case isSyncWait(pass, n):
+					why = "sync Wait"
+				case calleeTakesCtx(pass, n):
+					why = "calls a context-accepting function"
+				}
+			}
+			return true
+		})
+	}
+	scan(fd.Body)
+	return why
+}
+
+// isExportedAPI reports whether fd is callable from outside the
+// package: exported name, and for methods an exported receiver type.
+func isExportedAPI(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+// firstParamCtx returns the first parameter when it is a
+// context.Context, else nil.
+func firstParamCtx(pass *framework.Pass, fd *ast.FuncDecl) types.Object {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	field := params.List[0]
+	if len(field.Names) == 0 {
+		return nil
+	}
+	obj := pass.Info.Defs[field.Names[0]]
+	if obj == nil || !isContextType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// hasCtxStructParam reports whether any parameter is a struct (or
+// pointer to one) with a context.Context field — the Params.Ctx
+// convention for option-struct APIs.
+func hasCtxStructParam(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		if len(field.Names) == 0 {
+			continue
+		}
+		obj := pass.Info.Defs[field.Names[0]]
+		if obj == nil {
+			continue
+		}
+		t := obj.Type()
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isContextType(st.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeTakesCtx reports whether the call's callee declares a
+// context.Context first parameter (the conventional marker of a
+// blocking, cancellable API).
+func calleeTakesCtx(pass *framework.Pass, call *ast.CallExpr) bool {
+	var sig *types.Signature
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[f].(*types.Func); ok {
+			sig, _ = fn.Type().(*types.Signature)
+		} else if obj := pass.Info.Uses[f]; obj != nil {
+			sig, _ = obj.Type().Underlying().(*types.Signature)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[f.Sel].(*types.Func); ok {
+			sig, _ = fn.Type().(*types.Signature)
+		}
+	}
+	if sig == nil || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+// contextPkgFunc returns the name of the context-package function
+// call (Background, TODO, WithCancel, ...) or "".
+func contextPkgFunc(pass *framework.Pass, call *ast.CallExpr) string {
+	if call == nil {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	return fn.Name()
+}
+
+func argCall(e ast.Expr) *ast.CallExpr {
+	call, _ := e.(*ast.CallExpr)
+	return call
+}
+
+func isPkgCall(pass *framework.Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkg
+}
+
+func isSyncWait(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	return true
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

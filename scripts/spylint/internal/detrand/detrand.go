@@ -26,7 +26,8 @@ import (
 	"spylint/internal/framework"
 )
 
-// Packages is the deterministic set: exactly the simulation packages
+// Packages is the deterministic set: the simulation packages plus the
+// measurement/analysis layers (memgram, classify, mitigate, stats)
 // whose behaviour the golden byte-identity tests cover (the root
 // module's TestDetPackagesMatchGoldenCoverage pins this list against
 // the golden tests' actual import graph). Service-layer packages
@@ -43,6 +44,10 @@ var Packages = []string{
 	"spybox/internal/core",
 	"spybox/internal/game",
 	"spybox/internal/expt",
+	"spybox/internal/memgram",
+	"spybox/internal/classify",
+	"spybox/internal/mitigate",
+	"spybox/internal/stats",
 }
 
 var bannedImports = map[string]string{

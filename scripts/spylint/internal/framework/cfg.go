@@ -1,0 +1,412 @@
+// Statement-level control-flow graphs for flow-sensitive analyzers.
+//
+// The builder keeps exactly the structure path-sensitive checks need
+// and no more: blocks hold statements in execution order, conditional
+// edges carry the branch condition and its taken value so an abstract
+// interpreter can refine state per edge, returns are routed through
+// the function's deferred calls (in LIFO order) before reaching Exit,
+// and calls to panic / os.Exit / log.Fatal* terminate their path in a
+// distinct Panic block. Goto, labeled break/continue, switch, type
+// switch, and select are all lowered.
+//
+// Deliberate approximations, fine for linting: deferred calls are not
+// replayed on panicking paths (a panicking path is already terminal
+// for every analyzer built on this), case clauses do not carry their
+// match conditions (only if/for conditions refine state), and a
+// `select` without a default is treated like one whose clauses are
+// all reachable.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is the block execution starts in.
+	Entry *Block
+	// Exit is the single normal-return block (empty; reached after
+	// the defer chain). Panic collects paths that end in panic or a
+	// process-terminating call.
+	Exit  *Block
+	Panic *Block
+	// Blocks lists every block, including unreachable ones created
+	// after returns; block Index fields index into it.
+	Blocks []*Block
+}
+
+// Block is a maximal straight-line run of statements.
+type Block struct {
+	Index int
+	// Nodes holds the block's statements (and, for range and select
+	// headers, the header node itself) in execution order.
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// Edge is a control transfer. When Cond is non-nil the edge is taken
+// exactly when Cond evaluates to Taken.
+type Edge struct {
+	To    *Block
+	Cond  ast.Expr
+	Taken bool
+}
+
+// loopFrame tracks break/continue targets for one enclosing loop,
+// switch, or select (continueTo is nil for switch/select frames).
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+type cfgBuilder struct {
+	cfg   *CFG
+	info  *types.Info
+	cur   *Block
+	ret   *Block // returns edge here; the defer chain is spliced in later
+	loops []loopFrame
+	// pendingLabel is set by a labeled loop/switch so the construct
+	// registers the label on its own frame.
+	pendingLabel string
+	labels       map[string]*Block
+	gotos        []pendingGoto
+	defers       []*ast.CallExpr
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the CFG of body. info may be nil; it is used
+// only to recognize the panic builtin precisely (a shadowed `panic`
+// is then not treated as terminating).
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, info: info, labels: map[string]*Block{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cfg.Panic = b.newBlock()
+	b.ret = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, Edge{To: b.ret})
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, Edge{To: target})
+		}
+	}
+	// Splice the defer chain between the return-collector and Exit,
+	// last registered defer first.
+	tail := b.ret
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		d := b.newBlock()
+		d.Nodes = append(d.Nodes, b.defers[i])
+		b.edge(tail, Edge{To: d})
+		tail = d
+	}
+	b.edge(tail, Edge{To: b.cfg.Exit})
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from *Block, e Edge) { from.Succs = append(from.Succs, e) }
+
+// terminate ends the current path (after a return, branch, or panic):
+// subsequent statements land in a fresh predecessor-less block that
+// the interpreter never visits.
+func (b *cfgBuilder) terminate() { b.cur = b.newBlock() }
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// isTerminatingCall reports whether call never returns: the panic
+// builtin, os.Exit, or log.Fatal*.
+func (b *cfgBuilder) isTerminatingCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			if obj, ok := b.info.Uses[fun]; ok {
+				_, isBuiltin := obj.(*types.Builtin)
+				return isBuiltin
+			}
+		}
+		return true
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		name := fun.Sel.Name
+		switch {
+		case pkg.Name == "os" && name == "Exit":
+			return true
+		case pkg.Name == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) findLoop(label string, needContinue bool) *loopFrame {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := &b.loops[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			b.stmt(s.Stmt)
+		default:
+			target := b.newBlock()
+			b.labels[s.Label.Name] = target
+			b.edge(b.cur, Edge{To: target})
+			b.cur = target
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.isTerminatingCall(call) {
+			b.edge(b.cur, Edge{To: b.cfg.Panic})
+			b.terminate()
+		}
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, Edge{To: b.ret})
+		b.terminate()
+
+	case *ast.DeferStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.defers = append(b.defers, s.Call)
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		then := b.newBlock()
+		join := b.newBlock()
+		b.edge(b.cur, Edge{To: then, Cond: s.Cond, Taken: true})
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(b.cur, Edge{To: els, Cond: s.Cond, Taken: false})
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, Edge{To: join})
+		} else {
+			b.edge(b.cur, Edge{To: join, Cond: s.Cond, Taken: false})
+		}
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, Edge{To: join})
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		header := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, Edge{To: header})
+		if s.Cond != nil {
+			b.edge(header, Edge{To: body, Cond: s.Cond, Taken: true})
+			b.edge(header, Edge{To: after, Cond: s.Cond, Taken: false})
+		} else {
+			b.edge(header, Edge{To: body})
+		}
+		continueTo := header
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			continueTo = post
+		}
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after, continueTo: continueTo})
+		b.cur = body
+		b.stmt(s.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		if post != nil {
+			b.edge(b.cur, Edge{To: post})
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, Edge{To: header})
+		} else {
+			b.edge(b.cur, Edge{To: header})
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		header := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, Edge{To: header})
+		// The range header both evaluates s.X and binds the
+		// iteration variables; expose it to Transfer as a node.
+		header.Nodes = append(header.Nodes, s)
+		b.edge(header, Edge{To: body})
+		b.edge(header, Edge{To: after})
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after, continueTo: header})
+		b.cur = body
+		b.stmt(s.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, Edge{To: header})
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, &ast.ExprStmt{X: s.Tag})
+		}
+		b.switchClauses(label, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchClauses(label, s.Body.List, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		head := b.cur
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after})
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(head, Edge{To: cb})
+			if comm.Comm != nil {
+				cb.Nodes = append(cb.Nodes, comm.Comm)
+			}
+			b.cur = cb
+			b.stmtList(comm.Body)
+			b.edge(b.cur, Edge{To: after})
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if len(s.Body.List) == 0 {
+			// Empty select blocks forever.
+			b.edge(head, Edge{To: b.cfg.Panic})
+		}
+		b.cur = after
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.findLoop(label, false); f != nil {
+				b.edge(b.cur, Edge{To: f.breakTo})
+			}
+			b.terminate()
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.findLoop(label, true); f != nil {
+				b.edge(b.cur, Edge{To: f.continueTo})
+			}
+			b.terminate()
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled by switchClauses (the clause body falls into
+			// the next clause's body block); nothing to do here.
+		}
+
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec,
+		// and empty statements are straight-line.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchClauses lowers the clause list of a switch or type switch.
+// assign, when non-nil (type switch), is replayed at the top of every
+// clause so Transfer sees the per-clause binding.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, assign ast.Stmt) {
+	after := b.newBlock()
+	head := b.cur
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: after})
+	for i, cs := range clauses {
+		clause := cs.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, Edge{To: bodies[i]})
+		b.cur = bodies[i]
+		if assign != nil {
+			b.stmt(assign)
+		}
+		fallsThrough := false
+		for _, st := range clause.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				break
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(clauses) {
+			b.edge(b.cur, Edge{To: bodies[i+1]})
+			b.terminate()
+		} else {
+			b.edge(b.cur, Edge{To: after})
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		b.edge(head, Edge{To: after})
+	}
+	b.cur = after
+}

@@ -1,0 +1,300 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFuncCFG parses src as the body of the first function in a
+// throwaway package and builds its CFG (no type info: the tests
+// exercise pure structure).
+func buildFuncCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return BuildCFG(fd.Body, nil)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// recorder is a stateless FlowSemantics that records which nodes the
+// interpreter visits and in what order. With a constant state key the
+// interpreter visits each reachable block exactly once, so the trace
+// doubles as a reachability set.
+type recorder struct {
+	seq   []string
+	exits int
+	prune func(cond ast.Expr, taken bool) bool
+}
+
+type nullState struct{}
+
+func (nullState) Key() string { return "" }
+
+func describe(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			return describe(call)
+		}
+	case *ast.CallExpr:
+		switch f := n.Fun.(type) {
+		case *ast.Ident:
+			return f.Name + "()"
+		case *ast.SelectorExpr:
+			if x, ok := f.X.(*ast.Ident); ok {
+				return x.Name + "." + f.Sel.Name + "()"
+			}
+		}
+	case *ast.IncDecStmt:
+		return "inc"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.ReturnStmt:
+		return "return"
+	}
+	return ""
+}
+
+func (r *recorder) Transfer(s FlowState, n ast.Node) FlowState {
+	if d := describe(n); d != "" {
+		r.seq = append(r.seq, d)
+	}
+	return s
+}
+
+func (r *recorder) Branch(s FlowState, cond ast.Expr, taken bool) (FlowState, bool) {
+	if r.prune != nil && !r.prune(cond, taken) {
+		return s, false
+	}
+	return s, true
+}
+
+func (r *recorder) AtExit(FlowState) { r.exits++ }
+
+func (r *recorder) visited(name string) bool {
+	for _, s := range r.seq {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGDeferChainRunsLIFOBeforeExit(t *testing.T) {
+	g := buildFuncCFG(t, `
+func f() {
+	defer a()
+	defer b()
+	return
+}`)
+	r := &recorder{}
+	Interpret(g, nullState{}, r)
+	trace := strings.Join(r.seq, " ")
+	// The deferred calls replay after the return, last-registered
+	// first: ... return b() a().
+	want := "return b() a()"
+	if !strings.HasSuffix(trace, want) {
+		t.Errorf("trace %q does not end with %q", trace, want)
+	}
+	if r.exits != 1 {
+		t.Errorf("exits = %d, want 1", r.exits)
+	}
+}
+
+func TestCFGGotoBackEdgeFormsCycle(t *testing.T) {
+	g := buildFuncCFG(t, `
+func f() {
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	done()
+}`)
+	// The label target (the block holding i++) must have two incoming
+	// edges: fallthrough from the entry and the goto's back edge.
+	var target *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if describe(n) == "inc" {
+				target = blk
+			}
+		}
+	}
+	if target == nil {
+		t.Fatal("no block holds the labeled statement")
+	}
+	preds := 0
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.To == target {
+				preds++
+			}
+		}
+	}
+	if preds < 2 {
+		t.Errorf("label target has %d incoming edges, want >= 2 (fallthrough + goto back edge)", preds)
+	}
+	r := &recorder{}
+	Interpret(g, nullState{}, r)
+	if !r.visited("done()") {
+		t.Error("statement after the goto loop never reached")
+	}
+	if r.exits != 1 {
+		t.Errorf("exits = %d, want 1", r.exits)
+	}
+}
+
+func TestCFGLabeledBreakTargetsOuterLoop(t *testing.T) {
+	g := buildFuncCFG(t, `
+func f() {
+outer:
+	for {
+		for {
+			break outer
+		}
+		x()
+	}
+	y()
+}`)
+	r := &recorder{}
+	Interpret(g, nullState{}, r)
+	// break outer exits both loops: y() runs, x() (after the inner
+	// loop, still inside the outer body) is unreachable.
+	if r.visited("x()") {
+		t.Error("x() reached: labeled break fell out of the inner loop only")
+	}
+	if !r.visited("y()") {
+		t.Error("y() not reached: labeled break did not exit the outer loop")
+	}
+}
+
+func TestCFGPanicAndExitRouteToPanicBlock(t *testing.T) {
+	for _, tc := range []struct{ name, stmt, desc string }{
+		{"panic", `panic("boom")`, ""},
+		{"osExit", `os.Exit(1)`, "os.Exit()"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildFuncCFG(t, `
+func f(c bool) {
+	if c {
+		`+tc.stmt+`
+	}
+	after()
+}`)
+			found := false
+			for _, blk := range g.Blocks {
+				for _, e := range blk.Succs {
+					if e.To == g.Panic {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("no edge to the Panic block for %s", tc.stmt)
+			}
+			r := &recorder{}
+			Interpret(g, nullState{}, r)
+			if !r.visited("after()") {
+				t.Error("statement after the conditional terminator never reached")
+			}
+		})
+	}
+}
+
+func TestCFGCondEdgesCarryConditionAndTaken(t *testing.T) {
+	g := buildFuncCFG(t, `
+func f(c, d bool) {
+	if c {
+		a()
+	} else {
+		b()
+	}
+	for d {
+		e()
+	}
+}`)
+	// Both the if and the for-cond header must emit a matched pair of
+	// edges: same Cond expression, Taken true on one and false on the
+	// other.
+	pairs := map[ast.Expr][]bool{}
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.Cond != nil {
+				pairs[e.Cond] = append(pairs[e.Cond], e.Taken)
+			}
+		}
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("found %d distinct branch conditions, want 2", len(pairs))
+	}
+	for cond, takens := range pairs {
+		if len(takens) != 2 || takens[0] == takens[1] {
+			t.Errorf("condition %v has taken values %v, want one true and one false", cond, takens)
+		}
+	}
+}
+
+func TestInterpretPrunesInfeasibleEdges(t *testing.T) {
+	g := buildFuncCFG(t, `
+func f(c bool) {
+	if c {
+		a()
+	} else {
+		b()
+	}
+}`)
+	r := &recorder{prune: func(cond ast.Expr, taken bool) bool { return !taken }}
+	Interpret(g, nullState{}, r)
+	if r.visited("a()") {
+		t.Error("a() reached through an edge Branch declared infeasible")
+	}
+	if !r.visited("b()") {
+		t.Error("b() not reached through the surviving edge")
+	}
+}
+
+func TestImpliedTruths(t *testing.T) {
+	parse := func(s string) ast.Expr {
+		e, err := parser.ParseExpr(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	collect := func(cond ast.Expr, taken bool) map[string]bool {
+		out := map[string]bool{}
+		ImpliedTruths(cond, taken, func(atom ast.Expr, val bool) {
+			if id, ok := atom.(*ast.Ident); ok {
+				out[id.Name] = val
+			}
+		})
+		return out
+	}
+	// a && !b taken true implies a true and b false.
+	got := collect(parse("a && !b"), true)
+	if !got["a"] || got["b"] || len(got) != 2 {
+		t.Errorf("a && !b taken=true implied %v", got)
+	}
+	// a || b taken false refutes both.
+	got = collect(parse("a || b"), false)
+	if got["a"] || got["b"] || len(got) != 2 {
+		t.Errorf("a || b taken=false implied %v", got)
+	}
+	// a || b taken true implies neither operand.
+	if got = collect(parse("a || b"), true); len(got) != 0 {
+		t.Errorf("a || b taken=true implied %v, want nothing", got)
+	}
+}

@@ -1,0 +1,118 @@
+// A small path-sensitive abstract interpreter over the CFG. Clients
+// supply an immutable state value with a canonical Key and three
+// hooks; Interpret explores every (block, state) pair once, so the
+// cost is bounded by blocks × distinct abstract states — keep the
+// state small.
+package framework
+
+import "go/ast"
+
+// FlowState is one abstract state. Implementations must be immutable
+// value types: Transfer and Branch return fresh states rather than
+// mutating. Key canonically encodes the state so the driver can
+// memoize visits.
+type FlowState interface {
+	Key() string
+}
+
+// FlowSemantics gives a lattice-free path-sensitive semantics.
+type FlowSemantics interface {
+	// Transfer folds one statement into the state.
+	Transfer(s FlowState, n ast.Node) FlowState
+	// Branch refines the state along a conditional edge; cond is the
+	// branch condition and taken its value on this edge. Returning
+	// ok=false marks the edge infeasible under s and prunes the path.
+	Branch(s FlowState, cond ast.Expr, taken bool) (out FlowState, ok bool)
+	// AtExit observes a state reaching the normal function exit
+	// (after deferred calls). Panicking paths are not reported.
+	AtExit(s FlowState)
+}
+
+// maxStatesPerBlock caps distinct states explored per block, a
+// backstop against abstract-state explosion in pathological code.
+const maxStatesPerBlock = 128
+
+// Interpret runs sem over g starting from init at Entry.
+func Interpret(g *CFG, init FlowState, sem FlowSemantics) {
+	type item struct {
+		b *Block
+		s FlowState
+	}
+	seen := make([]map[string]bool, len(g.Blocks))
+	push := func(work []item, b *Block, s FlowState) []item {
+		if seen[b.Index] == nil {
+			seen[b.Index] = map[string]bool{}
+		}
+		k := s.Key()
+		if seen[b.Index][k] || len(seen[b.Index]) >= maxStatesPerBlock {
+			return work
+		}
+		seen[b.Index][k] = true
+		return append(work, item{b, s})
+	}
+	work := push(nil, g.Entry, init)
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		s := it.s
+		for _, n := range it.b.Nodes {
+			s = sem.Transfer(s, n)
+		}
+		if it.b == g.Exit {
+			sem.AtExit(s)
+			continue
+		}
+		if it.b == g.Panic {
+			continue
+		}
+		for _, e := range it.b.Succs {
+			next := s
+			if e.Cond != nil {
+				refined, ok := sem.Branch(s, e.Cond, e.Taken)
+				if !ok {
+					continue
+				}
+				next = refined
+			}
+			work = push(work, e.To, next)
+		}
+	}
+}
+
+// ImpliedTruths decomposes a branch condition into the atomic
+// conditions it implies and their values, following short-circuit
+// structure: `a && b` taken true implies both a and b; `a || b` taken
+// false refutes both; `!a` flips; parentheses are transparent. Atoms
+// whose value is not implied on this edge (the operands of a
+// true-taken ||, say) are not reported. f is called once per implied
+// (atom, value) pair.
+func ImpliedTruths(cond ast.Expr, taken bool, f func(atom ast.Expr, val bool)) {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		ImpliedTruths(e.X, taken, f)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "!" {
+			ImpliedTruths(e.X, !taken, f)
+			return
+		}
+		f(cond, taken)
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&":
+			if taken {
+				ImpliedTruths(e.X, true, f)
+				ImpliedTruths(e.Y, true, f)
+			}
+			// false: either operand may have failed — nothing implied.
+		case "||":
+			if !taken {
+				ImpliedTruths(e.X, false, f)
+				ImpliedTruths(e.Y, false, f)
+			}
+		default:
+			f(cond, taken)
+		}
+	default:
+		f(cond, taken)
+	}
+}

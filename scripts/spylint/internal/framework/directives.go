@@ -6,6 +6,11 @@
 //	                                      the function returns scratch
 //	                                      owned by its receiver; see
 //	                                      the scratchalias analyzer
+//	//spylint:hotpath                     (in a func's doc comment)
+//	                                      the function and everything
+//	                                      it calls intra-module must be
+//	                                      allocation-free; see the
+//	                                      hotalloc analyzer
 //
 // A reason is mandatory on allow directives: an exemption nobody can
 // explain is a finding in itself.
@@ -21,7 +26,7 @@ const directivePrefix = "//spylint:"
 
 // directive is one parsed //spylint: comment.
 type directive struct {
-	kind     string // "allow" or "scratch"
+	kind     string // "allow", "scratch", or "hotpath"
 	analyzer string // allow only
 	reason   string // allow only
 	pos      token.Position
@@ -97,7 +102,7 @@ func (ix *directiveIndex) problems(knownAnalyzers map[string]bool) []Diagnostic 
 	}
 	for _, d := range ix.all {
 		switch d.kind {
-		case "scratch":
+		case "scratch", "hotpath":
 			// no operands
 		case "allow":
 			switch {
@@ -109,7 +114,7 @@ func (ix *directiveIndex) problems(knownAnalyzers map[string]bool) []Diagnostic 
 				bad(d, "//spylint:allow "+d.analyzer+" needs a reason: exemptions must say why")
 			}
 		default:
-			bad(d, "unknown //spylint: directive kind "+d.kind+" (want allow or scratch)")
+			bad(d, "unknown //spylint: directive kind "+d.kind+" (want allow, scratch, or hotpath)")
 		}
 	}
 	return out
@@ -118,12 +123,19 @@ func (ix *directiveIndex) problems(knownAnalyzers map[string]bool) []Diagnostic 
 // HasScratchDirective reports whether fn's doc comment carries a
 // //spylint:scratch line, declaring that the function's reference-
 // typed results alias receiver-owned scratch storage.
-func HasScratchDirective(fn *ast.FuncDecl) bool {
+func HasScratchDirective(fn *ast.FuncDecl) bool { return hasDocDirective(fn, "scratch") }
+
+// HasHotpathDirective reports whether fn's doc comment carries a
+// //spylint:hotpath line, declaring the function a hot-path root that
+// the hotalloc analyzer must prove allocation-free.
+func HasHotpathDirective(fn *ast.FuncDecl) bool { return hasDocDirective(fn, "hotpath") }
+
+func hasDocDirective(fn *ast.FuncDecl, kind string) bool {
 	if fn.Doc == nil {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if strings.TrimSpace(c.Text) == directivePrefix+"scratch" {
+		if strings.TrimSpace(c.Text) == directivePrefix+kind {
 			return true
 		}
 	}

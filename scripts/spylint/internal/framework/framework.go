@@ -31,6 +31,12 @@ type Analyzer struct {
 	// (strings) consumed by dependent packages' passes. Only these
 	// run on dependency-only ("vetx only") compilation units.
 	ExportsFacts bool
+	// NeedsUnit, when non-nil, reports that this fact-exporting
+	// analyzer must see the syntax of the given dependency package
+	// even when its sources carry no //spylint: markers (hotalloc's
+	// allocation summaries cover every intra-module package, marked
+	// or not). Consulted only on the vet driver's fast path.
+	NeedsUnit func(pkgPath string) bool
 }
 
 // A Pass holds one analyzer's view of one type-checked package.
@@ -48,6 +54,7 @@ type Pass struct {
 	imported map[string]bool // facts from dependencies, this analyzer
 	exported map[string]bool // facts this pass published
 	diags    *[]Diagnostic
+	dirs     *directiveIndex // lazily built for Allowed
 }
 
 // A Diagnostic is one reported finding.
@@ -70,6 +77,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// Allowed reports whether an `//spylint:allow` directive for this
+// analyzer covers pos (same line or the line above). The driver
+// filters reported diagnostics this way already; analyzers that
+// derive facts from would-be findings (hotalloc's allocation
+// summaries) call this during collection so an allowed site does not
+// poison the function's exported fact.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.dirs == nil {
+		p.dirs = collectDirectives(p.Fset, p.Files)
+	}
+	return p.dirs.allowed(p.Analyzer.Name, p.Fset.Position(pos))
 }
 
 // HasFact reports whether id was published by this analyzer in any

@@ -70,12 +70,14 @@ func RunVetUnit(cfgPath string, analyzers []*Analyzer) {
 		srcs[name] = b
 	}
 
-	// Dependency units only publish facts, and facts only come from
-	// //spylint: annotations — if no source mentions the marker and
-	// there is nothing new to learn, re-export the imported facts
-	// without paying for a parse and type-check. This keeps the first
-	// `go vet -vettool` sweep over the standard library cheap.
-	if cfg.VetxOnly && !anyScratchMarker(srcs) {
+	// Dependency units only publish facts, and facts mostly come from
+	// //spylint: annotations — if no source mentions the marker and no
+	// analyzer declares (via NeedsUnit) that it summarizes this
+	// package regardless, re-export the imported facts without paying
+	// for a parse and type-check. This keeps the first
+	// `go vet -vettool` sweep over the standard library cheap while
+	// letting hotalloc see every intra-module dependency.
+	if cfg.VetxOnly && !anySpylintMarker(srcs) && !anyAnalyzerNeedsUnit(analyzers, cfg.ImportPath) {
 		writeFacts(cfg.VetxOutput, imported)
 		os.Exit(0)
 	}
@@ -151,10 +153,20 @@ func newTypesInfo() *types.Info {
 	}
 }
 
-func anyScratchMarker(srcs map[string][]byte) bool {
-	marker := []byte("spylint:scratch")
+func anySpylintMarker(srcs map[string][]byte) bool {
+	marker := []byte("spylint:")
 	for _, b := range srcs {
 		if bytes.Contains(b, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyAnalyzerNeedsUnit(analyzers []*Analyzer, importPath string) bool {
+	path := NormalizePkgPath(importPath)
+	for _, a := range analyzers {
+		if a.ExportsFacts && a.NeedsUnit != nil && a.NeedsUnit(path) {
 			return true
 		}
 	}

@@ -1,0 +1,566 @@
+// Package hotalloc is the vet-time twin of the repository's 0
+// allocs/op benchmark gates (BENCH_core.json): functions whose doc
+// comment carries `//spylint:hotpath` — the sim event dispatch, the
+// scheduler heap, the L2 probe/eviction loop, game.Engine.Step — plus
+// everything they call intra-module, must be allocation-free.
+//
+// The analyzer flags, inside the hot closure:
+//
+//   - make, new, and slice/map composite literals (and &T{...});
+//   - append growth onto a base that is not caller- or
+//     receiver-owned scratch (appending to a fresh local grows a
+//     heap slice every call; appending to a reused field or
+//     parameter amortizes);
+//   - function literals that capture variables, and go statements;
+//   - string concatenation and allocating string conversions
+//     (string<->[]byte/[]rune, integer->string);
+//   - interface boxing at call sites, and any call into fmt/errors;
+//   - dynamic calls (func values, interface methods) that cannot be
+//     proven allocation-free.
+//
+// Allocations whose only use is a panic argument are exempt — a
+// panicking hot path is already beyond performance concerns. A
+// cold-but-reachable site carries `//spylint:allow hotalloc <reason>`;
+// an allowed site also stays out of the function's exported
+// allocation summary, so callers are not blamed for it.
+//
+// Cross-package reach uses exported facts: every intra-module package
+// publishes the set of its functions that (transitively) allocate,
+// and a hot function calling one of them is flagged at the call site.
+// Test files are exempt.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spylint/internal/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //spylint:hotpath, and everything they call intra-module, " +
+		"must be allocation-free (the vet-time twin of the 0 allocs/op benchmark gates)",
+	Run:          run,
+	ExportsFacts: true,
+	NeedsUnit:    inModule,
+}
+
+// inModule reports whether pkgPath belongs to the root module, whose
+// packages all export allocation summaries so hot callers in
+// dependent packages can be checked.
+func inModule(pkgPath string) bool {
+	return pkgPath == "spybox" || strings.HasPrefix(pkgPath, "spybox/")
+}
+
+// allocPkgs are packages whose exported functions allocate by
+// construction; any call into them from hot code is a finding.
+var allocPkgs = map[string]bool{"fmt": true, "errors": true}
+
+// site is one direct allocation in a function body.
+type site struct {
+	pos  token.Pos
+	what string
+}
+
+type funcInfo struct {
+	obj      *types.Func
+	decl     *ast.FuncDecl
+	hot      bool
+	sites    []site
+	callees  map[*types.Func]token.Pos // static callees, first call site
+	dynCalls []token.Pos
+}
+
+func run(pass *framework.Pass) {
+	infos := map[*types.Func]*funcInfo{}
+	var order []*funcInfo
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{
+				obj:     obj,
+				decl:    fd,
+				hot:     framework.HasHotpathDirective(fd),
+				callees: map[*types.Func]token.Pos{},
+			}
+			collect(pass, fd, fi)
+			infos[obj] = fi
+			order = append(order, fi)
+		}
+	}
+
+	// Transitive allocation summaries over the in-package call graph;
+	// out-of-package intra-module callees contribute via facts.
+	allocating := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range order {
+			if allocating[fi.obj] {
+				continue
+			}
+			a := len(fi.sites) > 0 || len(fi.dynCalls) > 0
+			if !a {
+				for callee := range fi.callees {
+					if calleeAllocates(pass, infos, allocating, callee) {
+						a = true
+						break
+					}
+				}
+			}
+			if a {
+				allocating[fi.obj] = true
+				changed = true
+			}
+		}
+	}
+	for _, fi := range order {
+		if allocating[fi.obj] {
+			if id := funcID(fi.obj); id != "" {
+				pass.ExportFact(id)
+			}
+		}
+	}
+
+	// Hot closure: annotated roots plus every in-package function they
+	// transitively call. Direct sites are reported where they sit;
+	// cross-package allocating callees are reported at the call site.
+	reach := map[*types.Func]string{}
+	var queue []*funcInfo
+	for _, fi := range order {
+		if fi.hot {
+			reach[fi.obj] = fi.obj.Name()
+			queue = append(queue, fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		root := reach[fi.obj]
+		for _, s := range fi.sites {
+			pass.Reportf(s.pos, "%s on the hot path rooted at %s", s.what, root)
+		}
+		for _, pos := range fi.dynCalls {
+			pass.Reportf(pos, "dynamic call on the hot path rooted at %s cannot be proven allocation-free; "+
+				"//spylint:allow hotalloc with why it does not allocate, or devirtualize", root)
+		}
+		for callee, cpos := range fi.callees {
+			if local, ok := infos[callee]; ok {
+				if _, seen := reach[callee]; !seen {
+					reach[callee] = root
+					queue = append(queue, local)
+				}
+				continue
+			}
+			pkg := callee.Pkg()
+			if pkg == nil {
+				continue
+			}
+			path := framework.NormalizePkgPath(pkg.Path())
+			if path == pass.PkgPath || !inModule(path) {
+				continue
+			}
+			if pass.HasFact(funcID(callee)) && !pass.Allowed(cpos) {
+				pass.Reportf(cpos, "call to %s allocates, on the hot path rooted at %s", funcID(callee), root)
+			}
+		}
+	}
+}
+
+func calleeAllocates(pass *framework.Pass, infos map[*types.Func]*funcInfo,
+	allocating map[*types.Func]bool, callee *types.Func) bool {
+	if _, ok := infos[callee]; ok {
+		return allocating[callee]
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := framework.NormalizePkgPath(pkg.Path())
+	if allocPkgs[path] {
+		return true
+	}
+	if path == pass.PkgPath {
+		// Declared in this package but no body seen (test file,
+		// assembly): assume clean rather than guess.
+		return false
+	}
+	if inModule(path) {
+		return pass.HasFact(funcID(callee))
+	}
+	// The rest of the standard library is trusted not to allocate
+	// unless it boxes at the call site, which is flagged separately.
+	return false
+}
+
+// collect records fi's direct allocation sites, static callees, and
+// dynamic calls. Function-literal bodies belong to the literal (the
+// capture, go statement, or dynamic call is the finding); panic
+// arguments are cold; allowed sites stay out of the summary.
+func collect(pass *framework.Pass, fd *ast.FuncDecl, fi *funcInfo) {
+	fresh := freshLocals(pass, fd)
+	add := func(pos token.Pos, what string) {
+		if !pass.Allowed(pos) {
+			fi.sites = append(fi.sites, site{pos, what})
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesVars(pass, n) {
+				add(n.Pos(), "function literal captures variables (closure allocates)")
+			}
+			return false
+		case *ast.GoStmt:
+			add(n.Pos(), "go statement starts a goroutine")
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					add(n.Pos(), "slice literal allocates")
+				case *types.Map:
+					add(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					add(n.Pos(), "composite literal escapes to the heap (&T{...})")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.Info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+					add(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.CallExpr:
+			return visitCall(pass, fi, fresh, add, n)
+		}
+		return true
+	})
+}
+
+// visitCall classifies one call expression; the return value says
+// whether to descend into the call's children.
+func visitCall(pass *framework.Pass, fi *funcInfo, fresh map[*types.Var]bool,
+	add func(token.Pos, string), call *ast.CallExpr) bool {
+
+	fun := unparen(call.Fun)
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+		checkConversion(pass, add, call, tv.Type)
+		return true
+	}
+
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if b, ok := pass.Info.Uses[f].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "make allocates")
+			case "new":
+				add(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 && baseIsFresh(pass, fresh, call.Args[0]) {
+					add(call.Pos(), "append grows a fresh slice every call (no reused backing array)")
+				}
+			case "panic":
+				// Allocations feeding a panic are cold by definition.
+				return false
+			}
+			return true
+		}
+	}
+
+	callee := staticCallee(pass, fun)
+	if callee == nil {
+		if !pass.Allowed(call.Pos()) {
+			fi.dynCalls = append(fi.dynCalls, call.Pos())
+		}
+		return true
+	}
+	if pkg := callee.Pkg(); pkg != nil && allocPkgs[pkg.Path()] {
+		add(call.Pos(), "call to "+pkg.Path()+"."+callee.Name()+" allocates")
+		return true
+	}
+	if _, seen := fi.callees[callee]; !seen {
+		fi.callees[callee] = call.Pos()
+	}
+	checkBoxing(pass, add, call, callee)
+	return true
+}
+
+// staticCallee resolves fun to a concrete *types.Func, or nil for
+// func values and interface-method calls (dynamic dispatch).
+func staticCallee(pass *framework.Pass, fun ast.Expr) *types.Func {
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[f]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[f]; ok {
+			if recv := sel.Recv(); recv != nil && types.IsInterface(recv) {
+				return nil
+			}
+		}
+		obj = pass.Info.Uses[f.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// checkConversion flags T(x) conversions that allocate.
+func checkConversion(pass *framework.Pass, add func(token.Pos, string), call *ast.CallExpr, dst types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	atv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || atv.Type == nil || atv.IsNil() {
+		return
+	}
+	src := atv.Type
+	switch {
+	case isString(dst) && (isByteOrRuneSlice(src) || isInteger(src)):
+		add(call.Pos(), "string conversion allocates")
+	case isByteOrRuneSlice(dst) && isString(src):
+		add(call.Pos(), "conversion to a byte/rune slice allocates")
+	case types.IsInterface(dst.Underlying()) && !types.IsInterface(src):
+		add(call.Pos(), "conversion boxes into an interface")
+	}
+}
+
+// checkBoxing flags arguments boxed into interface parameters.
+func checkBoxing(pass *framework.Pass, add func(token.Pos, string), call *ast.CallExpr, callee *types.Func) {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				return
+			}
+			pt = params.At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = params.At(i).Type()
+		default:
+			return
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		atv, ok := pass.Info.Types[arg]
+		if !ok || atv.Type == nil || atv.IsNil() {
+			continue
+		}
+		if !types.IsInterface(atv.Type) {
+			add(arg.Pos(), "argument boxes into an interface parameter")
+		}
+	}
+}
+
+// freshLocals computes the function's locals that can only hold a
+// freshly allocated (or nil) slice: declared in this body and only
+// ever assigned make/composite-literal/nil results or appends to
+// themselves. Appending to such a local grows a new backing array on
+// every call; appending to anything else (fields, parameters, slices
+// of either) amortizes into caller- or receiver-owned scratch.
+func freshLocals(pass *framework.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	fresh := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if spec, ok := n.(*ast.ValueSpec); ok && len(spec.Values) == 0 {
+			for _, name := range spec.Names {
+				if v, ok := pass.Info.Defs[name].(*types.Var); ok && isSlice(v.Type()) {
+					fresh[v] = true
+				}
+			}
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != len(as.Lhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, _ := pass.Info.Defs[id].(*types.Var)
+			if v == nil {
+				v, _ = pass.Info.Uses[id].(*types.Var)
+			}
+			if v == nil || !isSlice(v.Type()) {
+				continue
+			}
+			if freshRHS(pass, v, as.Rhs[i]) {
+				if _, known := fresh[v]; !known {
+					fresh[v] = true
+				}
+			} else {
+				fresh[v] = false
+			}
+		}
+		return true
+	})
+	out := map[*types.Var]bool{}
+	for v, f := range fresh {
+		if f {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// freshRHS reports whether assigning e to v keeps v fresh: a make, a
+// composite literal, nil, or an append to v itself.
+func freshRHS(pass *framework.Pass, v *types.Var, e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		if tv, ok := pass.Info.Types[e]; ok && tv.IsNil() {
+			return true
+		}
+	case *ast.CallExpr:
+		fun, ok := unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := pass.Info.Uses[fun].(*types.Builtin)
+		if !ok {
+			return false
+		}
+		switch b.Name() {
+		case "make":
+			return true
+		case "append":
+			if len(e.Args) > 0 {
+				if base, ok := unparen(e.Args[0]).(*ast.Ident); ok {
+					return pass.Info.Uses[base] == v
+				}
+			}
+		}
+	}
+	return false
+}
+
+func baseIsFresh(pass *framework.Pass, fresh map[*types.Var]bool, base ast.Expr) bool {
+	switch e := unparen(base).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		if tv, ok := pass.Info.Types[e]; ok && tv.IsNil() {
+			return true
+		}
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok {
+			return fresh[v]
+		}
+	}
+	return false
+}
+
+// capturesVars reports whether lit references a variable declared
+// outside it in an enclosing function (a closure that must allocate).
+func capturesVars(pass *framework.Pass, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe || v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+func funcID(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return "(" + framework.NormalizePkgPath(named.Obj().Pkg().Path()) + "." +
+			named.Obj().Name() + ")." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return framework.NormalizePkgPath(fn.Pkg().Path()) + "." + fn.Name()
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isTestFile(pass *framework.Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,523 @@
+// Package leaselife machine-checks the serve fleet's exactly-once
+// lease discipline (pkg/spybox/service): a job claimed from the store
+// must be disposed of on every control-flow path, and the disposal
+// must respect lease loss.
+//
+// The rules, enforced by abstract interpretation over the framework
+// CFG:
+//
+//   - every Store.Claim result must reach a terminal Put (a Put
+//     preceded by a `.State = JobDone/JobFailed/JobCancelled`
+//     assignment on the same path), a Release, or be handed to
+//     another function in the package along with the claimed Record
+//     (delegation — the callee is then analyzed with the claim open);
+//   - when the function runs a lease-renewal goroutine (a `go` literal
+//     that calls Renew and sets a flag on failure), a terminal Put is
+//     only legal on paths that checked the flag first — writing a
+//     terminal record after the lease was reclaimed clobbers a peer's
+//     run;
+//   - a Claim while the previous claim is still open (a claim loop
+//     without per-iteration disposition) is flagged at the Claim;
+//   - Renew belongs to the claiming goroutine's run loop: a Renew in
+//     a function that neither claims nor receives a claimed Record is
+//     flagged.
+//
+// Leaks are reported at the `return` that abandons the claim, so an
+// exemption (`//spylint:allow leaselife <reason>` — e.g. the record
+// was deleted mid-run and the lease died with it) sits on the exact
+// early exit it justifies. A claim whose success flag was never
+// observed true on the path (the idle-poll branch of a claim loop) is
+// not a leak. Test files are exempt; goroutine bodies other than the
+// renewal pattern are not analyzed.
+package leaselife
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spylint/internal/framework"
+)
+
+// targetPkg scopes the analyzer: lease discipline is the service
+// layer's contract.
+const targetPkg = "spybox/pkg/spybox/service"
+
+var Analyzer = &framework.Analyzer{
+	Name: "leaselife",
+	Doc: "every Store.Claim must reach a terminal Put, a Release, or a lease-loss guard " +
+		"on all control-flow paths (the vet-time twin of the fleet's exactly-once tests)",
+	Run: run,
+}
+
+type claimState int8
+
+const (
+	cNone     claimState = iota // no claim on this path
+	cMaybe                      // claimed, success flag not yet observed
+	cLive                       // claim confirmed held
+	cDisposed                   // released, terminally put, delegated, or lease lost
+)
+
+// state is one abstract path state. retPos remembers the return
+// statement the path exited through, so leaks point at the exit.
+type state struct {
+	claim        claimState
+	lostChecked  bool
+	termAssigned bool
+	retPos       token.Pos
+}
+
+func (s state) Key() string {
+	return fmt.Sprintf("%d%t%t%d", s.claim, s.lostChecked, s.termAssigned, s.retPos)
+}
+
+func run(pass *framework.Pass) {
+	if pass.PkgPath != targetPkg {
+		return
+	}
+	funcs := map[*types.Func]*ast.FuncDecl{}
+	var order []*types.Func
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				funcs[obj] = fd
+				order = append(order, obj)
+			}
+		}
+	}
+
+	a := &analysis{pass: pass, funcs: funcs, delegated: map[*types.Func]int{}, reported: map[token.Pos]bool{}}
+
+	// Round 1: functions that Claim directly. Delegations they hand
+	// out seed later rounds until the set closes.
+	analyzed := map[*types.Func]bool{}
+	for _, fn := range order {
+		if hasClaimCall(pass, funcs[fn]) {
+			a.checkFunc(fn, -1)
+			analyzed[fn] = true
+		}
+	}
+	for {
+		next := []*types.Func{}
+		for fn := range a.delegated {
+			if !analyzed[fn] {
+				next = append(next, fn)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		for _, fn := range next {
+			analyzed[fn] = true
+			if fd := funcs[fn]; fd != nil {
+				a.checkFunc(fn, a.delegated[fn])
+			}
+		}
+	}
+
+	// Renew placement: only claimers and their delegates may renew.
+	for _, fn := range order {
+		fd := funcs[fn]
+		if analyzed[fn] {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isStoreMethodCall(pass, call, "Renew") {
+				pass.Reportf(call.Pos(),
+					"Renew outside the claiming goroutine: only the function that claimed the job (or was handed its Record) may renew the lease")
+			}
+			return true
+		})
+	}
+}
+
+type analysis struct {
+	pass      *framework.Pass
+	funcs     map[*types.Func]*ast.FuncDecl
+	delegated map[*types.Func]int // claim-delegation targets -> Record param index
+	reported  map[token.Pos]bool
+}
+
+// checker interprets one function. paramIdx >= 0 means the function
+// was delegated an already-open claim via that parameter.
+type checker struct {
+	a        *analysis
+	pass     *framework.Pass
+	fn       *types.Func
+	fd       *ast.FuncDecl
+	claimPos token.Pos
+	okVar    types.Object // claim success flag, nil when unobservable
+	recVar   types.Object // claimed Record variable, nil when unknown
+	lostFlag types.Object // renewal-failure flag, nil when no renewal goroutine
+}
+
+func (a *analysis) checkFunc(fn *types.Func, paramIdx int) {
+	fd := a.funcs[fn]
+	c := &checker{a: a, pass: a.pass, fn: fn, fd: fd, claimPos: fd.Name.Pos()}
+	c.lostFlag = findLostFlag(a.pass, fd)
+	init := state{}
+	if paramIdx >= 0 {
+		init.claim = cLive
+		if c.recVar = paramObj(a.pass, fd, paramIdx); c.recVar == nil {
+			return
+		}
+		c.claimPos = c.recVar.Pos()
+	}
+	framework.Interpret(framework.BuildCFG(fd.Body, a.pass.Info), init, c)
+}
+
+// ---- FlowSemantics ----
+
+func (c *checker) Transfer(fs framework.FlowState, n ast.Node) framework.FlowState {
+	s := fs.(state)
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		s.retPos = ret.Pos()
+		return s
+	}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		if t, isTerm := terminalStateAssign(as); t {
+			s.termAssigned = isTerm
+		}
+		if len(as.Rhs) == 1 {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isStoreMethodCall(c.pass, call, "Claim") {
+				s = c.claimTransfer(s, as, call)
+			}
+		}
+	}
+	// Relevant calls anywhere in the statement (conditions and inits
+	// arrive as their own nodes); goroutine bodies are the renewal
+	// loop's business, not this path's.
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isStoreMethodCall(c.pass, call, "Claim"):
+			if enclosingSingleAssign(n, call) == nil {
+				s = c.claimTransfer(s, nil, call)
+			}
+		case isStoreMethodCall(c.pass, call, "Release"):
+			if s.claim != cNone {
+				s.claim = cDisposed
+			}
+		case isStoreMethodCall(c.pass, call, "Put"):
+			if s.termAssigned {
+				if c.lostFlag != nil && !s.lostChecked && (s.claim == cLive || s.claim == cMaybe) {
+					c.reportOnce(call.Pos(),
+						"terminal Put without checking the lease-renewal failure flag first: if the lease was reclaimed, this write clobbers the new owner's record")
+				}
+				if s.claim != cNone {
+					s.claim = cDisposed
+				}
+			}
+		default:
+			s = c.delegationTransfer(s, call)
+		}
+		return true
+	})
+	return s
+}
+
+// claimTransfer folds a Store.Claim call into the state and binds the
+// success flag and Record variable when the result is assigned.
+func (c *checker) claimTransfer(s state, as *ast.AssignStmt, call *ast.CallExpr) state {
+	if s.claim == cLive {
+		c.reportOnce(call.Pos(),
+			"Claim in a loop without a per-iteration disposition: the previous claim is still open here")
+	}
+	c.claimPos = call.Pos()
+	c.okVar, c.recVar = nil, nil
+	s.claim = cLive // blank/ignored success flag: assume claimed
+	if as != nil && len(as.Lhs) >= 2 {
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			c.recVar = lhsObj(c.pass, id)
+		}
+		if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+			c.okVar = lhsObj(c.pass, id)
+			s.claim = cMaybe // refined to cLive/cNone at branches on okVar
+		}
+	}
+	return s
+}
+
+// delegationTransfer treats passing the claimed Record to another
+// function in the package as handing over the obligation.
+func (c *checker) delegationTransfer(s state, call *ast.CallExpr) state {
+	if c.recVar == nil || (s.claim != cLive && s.claim != cMaybe) {
+		return s
+	}
+	callee := staticCallee(c.pass, call)
+	if callee == nil || callee.Pkg() == nil ||
+		framework.NormalizePkgPath(callee.Pkg().Path()) != c.pass.PkgPath {
+		return s
+	}
+	for i, arg := range call.Args {
+		if id, ok := arg.(*ast.Ident); ok && c.pass.Info.Uses[id] == c.recVar {
+			s.claim = cDisposed
+			if _, seen := c.a.delegated[callee]; !seen {
+				c.a.delegated[callee] = i
+			}
+			return s
+		}
+	}
+	return s
+}
+
+func (c *checker) Branch(fs framework.FlowState, cond ast.Expr, taken bool) (framework.FlowState, bool) {
+	s := fs.(state)
+	framework.ImpliedTruths(cond, taken, func(atom ast.Expr, val bool) {
+		if c.okVar != nil && exprIsObj(c.pass, atom, c.okVar) {
+			if s.claim == cMaybe {
+				if val {
+					s.claim = cLive
+				} else {
+					s.claim = cNone
+				}
+			}
+			return
+		}
+		if c.lostFlag != nil && exprReadsFlag(c.pass, atom, c.lostFlag) {
+			s.lostChecked = true
+			if val && (s.claim == cLive || s.claim == cMaybe) {
+				// Lease gone: the new owner holds the obligation.
+				s.claim = cDisposed
+			}
+		}
+	})
+	return s, true
+}
+
+func (c *checker) AtExit(fs framework.FlowState) {
+	s := fs.(state)
+	if s.claim != cLive {
+		return
+	}
+	pos := s.retPos
+	if pos == token.NoPos {
+		pos = c.claimPos
+	}
+	c.reportOnce(pos,
+		"claimed job leaks on this path: no terminal Put, Release, or lease-loss guard before the function returns (lease held until TTL expiry)")
+}
+
+func (c *checker) reportOnce(pos token.Pos, msg string) {
+	if !c.a.reported[pos] {
+		c.a.reported[pos] = true
+		c.pass.Reportf(pos, "%s", msg)
+	}
+}
+
+// ---- syntactic helpers ----
+
+// hasClaimCall reports whether fd calls Store.Claim outside function
+// literals.
+func hasClaimCall(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isStoreMethodCall(pass, call, "Claim") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isStoreMethodCall matches a method call named name with the store
+// interface's shape: Claim additionally requires (Record, bool, error)
+// results so unrelated Claims elsewhere don't bind.
+func isStoreMethodCall(pass *framework.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if name == "Claim" {
+		res := sig.Results()
+		if res.Len() != 3 {
+			return false
+		}
+		b, ok := res.At(1).Type().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Bool
+	}
+	return true
+}
+
+// terminalStateAssign reports whether as assigns a job state to a
+// `.State` field, and whether that state is terminal
+// (JobDone/JobFailed/JobCancelled).
+func terminalStateAssign(as *ast.AssignStmt) (isStateAssign, terminal bool) {
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "State" || i >= len(as.Rhs) {
+			continue
+		}
+		name := ""
+		switch r := as.Rhs[i].(type) {
+		case *ast.Ident:
+			name = r.Name
+		case *ast.SelectorExpr:
+			name = r.Sel.Name
+		}
+		switch name {
+		case "JobDone", "JobFailed", "JobCancelled":
+			return true, true
+		default:
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// findLostFlag locates the renewal-failure flag: inside a `go func()
+// {...}` literal that calls Renew, the variable stored true when the
+// renewal errors (`flag.Store(true)` or `flag = true`).
+func findLostFlag(pass *framework.Pass, fd *ast.FuncDecl) types.Object {
+	var flag types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if flag != nil {
+			return false
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		renews := false
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok && isStoreMethodCall(pass, call, "Renew") {
+				renews = true
+			}
+			return true
+		})
+		if !renews {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if flag != nil {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				// flag.Store(true)
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Store" && len(m.Args) == 1 {
+					if isTrue(m.Args[0]) {
+						if id, ok := sel.X.(*ast.Ident); ok {
+							flag = pass.Info.Uses[id]
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				// flag = true
+				if len(m.Lhs) == 1 && len(m.Rhs) == 1 && isTrue(m.Rhs[0]) {
+					if id, ok := m.Lhs[0].(*ast.Ident); ok {
+						flag = lhsObj(pass, id)
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return flag
+}
+
+// exprReadsFlag matches `flag.Load()` and plain `flag` atoms.
+func exprReadsFlag(pass *framework.Pass, atom ast.Expr, flag types.Object) bool {
+	switch e := atom.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[e] == flag
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Load" {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				return pass.Info.Uses[id] == flag
+			}
+		}
+	}
+	return false
+}
+
+func exprIsObj(pass *framework.Pass, atom ast.Expr, obj types.Object) bool {
+	id, ok := atom.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// enclosingSingleAssign returns n when it is an AssignStmt whose sole
+// RHS is call (the claim-binding form handled by claimTransfer).
+func enclosingSingleAssign(n ast.Node, call *ast.CallExpr) *ast.AssignStmt {
+	as, ok := n.(*ast.AssignStmt)
+	if ok && len(as.Rhs) == 1 && as.Rhs[0] == call {
+		return as
+	}
+	return nil
+}
+
+func staticCallee(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[f.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func lhsObj(pass *framework.Pass, id *ast.Ident) types.Object {
+	if obj, ok := pass.Info.Defs[id]; ok && obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+func paramObj(pass *framework.Pass, fd *ast.FuncDecl, idx int) types.Object {
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range names {
+			if i == idx {
+				return pass.Info.Defs[name]
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+func isTrue(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "true"
+}

@@ -10,6 +10,13 @@
 //	               are never retained past their lifetime window
 //	droppederr     experiment and report/render code never silently
 //	               discards an error
+//	hotalloc       //spylint:hotpath functions and everything they call
+//	               intra-module are allocation-free (vet-time twin of
+//	               the 0 allocs/op benchmark gates)
+//	leaselife      every service Store.Claim reaches a terminal Put,
+//	               Release, or lease-loss guard on all paths
+//	ctxflow        exported blocking library APIs accept and propagate
+//	               context.Context; Background()/TODO() stay in main
 //
 // Run it through the build system:
 //
@@ -31,9 +38,12 @@ import (
 	"os"
 	"strings"
 
+	"spylint/internal/ctxflow"
 	"spylint/internal/detrand"
 	"spylint/internal/droppederr"
 	"spylint/internal/framework"
+	"spylint/internal/hotalloc"
+	"spylint/internal/leaselife"
 	"spylint/internal/resetcomplete"
 	"spylint/internal/scratchalias"
 )
@@ -43,6 +53,9 @@ var analyzers = []*framework.Analyzer{
 	detrand.Analyzer,
 	scratchalias.Analyzer,
 	droppederr.Analyzer,
+	hotalloc.Analyzer,
+	leaselife.Analyzer,
+	ctxflow.Analyzer,
 }
 
 func main() {

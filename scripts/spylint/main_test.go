@@ -25,3 +25,15 @@ func TestScratchAlias(t *testing.T) {
 func TestDroppedErr(t *testing.T) {
 	analysistest.Run(t, "testdata/droppederr", analyzers)
 }
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/hotalloc", analyzers)
+}
+
+func TestLeaseLife(t *testing.T) {
+	analysistest.Run(t, "testdata/leaselife", analyzers)
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxflow", analyzers)
+}

@@ -1,0 +1,40 @@
+// Fixture for ctxflow in the experiment package: the Params.Ctx
+// convention. Kept free of wall-clock reads, package-level state, and
+// discarded errors — detrand and droppederr also police this import
+// path.
+package expt
+
+import "context"
+
+// Params is the option struct; Ctx is the cancellation hook.
+type Params struct {
+	Trials int
+	Ctx    context.Context
+}
+
+// ctx resolves the run's context; nil means never cancelled.
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	//spylint:allow ctxflow fixture: an unset Params.Ctx means the run is never cancelled
+	return context.Background()
+}
+
+// Run blocks through a context-accepting callee, but Params carries
+// the caller's Context: clean.
+func Run(p Params) error {
+	return wait(p.ctx())
+}
+
+func wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Sweep takes no context anywhere and still blocks.
+func Sweep(trials int) error { // want `exported API Sweep can block \(calls a context-accepting function\) but takes no context\.Context`
+	return wait(context.Background()) // want `context\.Background\(\) in library code detaches this work from caller cancellation; accept and thread a caller ctx instead`
+}

@@ -1,0 +1,90 @@
+// Fixture for the ctxflow analyzer: exported blocking APIs in the
+// library packages must accept a context.Context first (or a params
+// struct carrying one) and thread it to blocking callees.
+package spybox
+
+import (
+	"context"
+	"time"
+)
+
+// Run can block but offers callers no cancellation.
+func Run(ids ...string) error { // want `exported API Run can block \(time\.Sleep\) but takes no context\.Context`
+	time.Sleep(time.Millisecond)
+	return nil
+}
+
+// RunCtx threads its ctx: clean.
+func RunCtx(ctx context.Context) error {
+	return helper(ctx)
+}
+
+func helper(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// Bounded derives a child context, which still counts as threading:
+// clean.
+func Bounded(ctx context.Context) error {
+	child, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	return helper(child)
+}
+
+// Detached receives a ctx but hands its callee a different one.
+func Detached(ctx, other context.Context) error {
+	return helper(other) // want `Detached drops the incoming ctx`
+}
+
+// Refresh reaches for a fresh context despite having one; the ban
+// fires with the thread-it-through hint (the handoff check stays
+// quiet — the ban already points here).
+func Refresh(ctx context.Context) error {
+	return helper(context.TODO()) // want `context\.TODO\(\) in library code detaches this work from caller cancellation; thread the caller's ctx through instead`
+}
+
+// Spawn launches background work detached from every caller.
+func Spawn() {
+	go func() {
+		_ = helper(context.Background()) // want `context\.Background\(\) in library code detaches this work from caller cancellation; accept and thread a caller ctx instead`
+	}()
+}
+
+// Params carries the ctx for option-struct APIs.
+type Params struct {
+	Ctx context.Context
+}
+
+// RunParams blocks, but the params struct has a Context field: the
+// signature rule is satisfied.
+func RunParams(p Params) error {
+	if p.Ctx != nil {
+		return helper(p.Ctx)
+	}
+	return nil
+}
+
+// Nudge polls through a defaulted select, which cannot block: clean.
+func Nudge(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// Recv blocks on a bare receive.
+func Recv(ch chan int) int { // want `exported API Recv can block \(channel receive\) but takes no context\.Context`
+	return <-ch
+}
+
+// Watch blocks by design; the exemption documents why.
+//
+//spylint:allow ctxflow fixture: the watch loop is owned by the caller's goroutine and ends when ch closes
+func Watch(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

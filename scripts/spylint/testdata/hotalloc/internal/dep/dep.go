@@ -1,0 +1,32 @@
+// Fixture dependency package for the hotalloc analyzer: exports one
+// allocating function and one clean one, so the cross-package fact
+// propagation (dep is analyzed first, hot consumes its summary) is
+// exercised. No //spylint:hotpath roots live here, so nothing in this
+// file is reported directly.
+package dep
+
+import "fmt"
+
+// Format allocates (fmt call): the package exports that fact.
+func Format(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// Add is allocation-free: hot callers may use it freely.
+func Add(a, b int) int {
+	return a + b
+}
+
+// Scaled allocates only transitively, through Format; the fixpoint
+// must still export it as allocating.
+func Scaled(n int) string {
+	return Format(n * 2)
+}
+
+// Hinted would allocate, but the site carries an allow directive, so
+// the function's exported summary stays clean and hot callers are not
+// blamed.
+func Hinted(n int) []int {
+	out := make([]int, n) //spylint:allow hotalloc fixture: amortized by the caller's pooling
+	return out
+}

@@ -1,0 +1,131 @@
+// Fixture for the hotalloc analyzer: functions whose doc comments
+// carry //spylint:hotpath, plus everything they call intra-module,
+// must be allocation-free. Cross-package reach comes from dep's
+// exported allocation summary.
+package hot
+
+import (
+	"fmt"
+
+	"spybox/internal/dep"
+)
+
+// Engine's Step closure exercises in-package reachability: helper is
+// hot because Step calls it, and findings inside it name Step as the
+// root.
+type Engine struct {
+	buf []int
+}
+
+// Step is a hot root: its whole in-package call closure is checked.
+//
+//spylint:hotpath
+func (e *Engine) Step(n int) int {
+	x := make([]int, 4)      // want `make allocates on the hot path rooted at Step`
+	e.buf = append(e.buf, n) // receiver-owned scratch amortizes: clean
+	_ = dep.Format(n)        // want `call to spybox/internal/dep\.Format allocates, on the hot path rooted at Step`
+	_ = dep.Scaled(n)        // want `call to spybox/internal/dep\.Scaled allocates, on the hot path rooted at Step`
+	_ = dep.Hinted(n)        // dep allowed that site, so its summary is clean
+	return dep.Add(e.helper(n), len(x))
+}
+
+// helper is hot by reachability from Step, not by annotation.
+func (e *Engine) helper(n int) int {
+	_ = fmt.Sprintf("%d", n) // want `call to fmt\.Sprintf allocates on the hot path rooted at Step`
+	var fresh []int
+	fresh = append(fresh, n) // want `append grows a fresh slice every call \(no reused backing array\) on the hot path rooted at Step`
+	return len(fresh)
+}
+
+// Lits exercises composite-literal sites.
+//
+//spylint:hotpath
+func Lits() int {
+	xs := []int{1, 2}     // want `slice literal allocates on the hot path rooted at Lits`
+	m := map[string]int{} // want `map literal allocates on the hot path rooted at Lits`
+	return len(xs) + len(m)
+}
+
+type pair struct{ a, b int }
+
+// Pair escapes a composite literal to the heap.
+//
+//spylint:hotpath
+func Pair(n int) *pair {
+	return &pair{a: n} // want `composite literal escapes to the heap \(&T\{\.\.\.\}\) on the hot path rooted at Pair`
+}
+
+// Fresh allocates with new.
+//
+//spylint:hotpath
+func Fresh() *int {
+	return new(int) // want `new allocates on the hot path rooted at Fresh`
+}
+
+// Convert exercises the allocating conversions and concatenation.
+//
+//spylint:hotpath
+func Convert(s string, bs []byte) int {
+	b := []byte(s)  // want `conversion to a byte/rune slice allocates on the hot path rooted at Convert`
+	t := string(bs) // want `string conversion allocates on the hot path rooted at Convert`
+	u := s + t      // want `string concatenation allocates on the hot path rooted at Convert`
+	return len(b) + len(u)
+}
+
+func sink(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+// Box passes a concrete value to an interface parameter.
+//
+//spylint:hotpath
+func Box(n int) int {
+	return sink(n) // want `argument boxes into an interface parameter on the hot path rooted at Box`
+}
+
+// Dyn calls through a func value, which cannot be proven clean.
+//
+//spylint:hotpath
+func Dyn(f func() int) int {
+	return f() // want `dynamic call on the hot path rooted at Dyn cannot be proven allocation-free`
+}
+
+// Closures: capturing literals allocate, capture-free ones do not.
+//
+//spylint:hotpath
+func Closures(n int) {
+	_ = func() int { return n } // want `function literal captures variables \(closure allocates\) on the hot path rooted at Closures`
+	_ = func() int { return 1 } // captures nothing: clean
+}
+
+// Fire starts a goroutine from the hot path.
+//
+//spylint:hotpath
+func Fire(ch chan int) {
+	go send(ch) // want `go statement starts a goroutine on the hot path rooted at Fire`
+}
+
+func send(ch chan int) { ch <- 1 }
+
+// Guarded shows the two escape hatches: allocations feeding a panic
+// are cold by definition, and a cold-but-reachable site carries an
+// allow directive.
+//
+//spylint:hotpath
+func Guarded(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n)) // panic arguments are cold: clean
+	}
+	scratch := make([]int, n) //spylint:allow hotalloc fixture: grow-only scratch reused across calls
+	_ = scratch
+}
+
+// cold allocates freely: it is reachable from no hot root.
+func cold(n int) []int {
+	out := make([]int, n)
+	out = append(out, cap(out))
+	return out
+}

@@ -1,0 +1,3 @@
+module spybox
+
+go 1.22

@@ -1,0 +1,207 @@
+// Fixture for the leaselife analyzer: every Store.Claim must reach a
+// terminal Put, a Release, or a lease-loss guard on all control-flow
+// paths. The types mirror the real service package's shapes — Claim's
+// (Record, bool, error) signature is what binds the checker.
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+type JobID string
+
+type State int
+
+const (
+	JobQueued State = iota
+	JobRunning
+	JobDone
+	JobFailed
+	JobCancelled
+)
+
+type Status struct {
+	ID    JobID
+	State State
+}
+
+type Record struct {
+	Status Status
+}
+
+// Store is the fixture stand-in for the real job store.
+type Store struct{}
+
+func (s *Store) Claim(owner string, ttl time.Duration) (Record, bool, error) {
+	return Record{}, false, nil
+}
+func (s *Store) Put(rec Record) error                                  { return nil }
+func (s *Store) Release(id JobID, owner string) error                  { return nil }
+func (s *Store) Renew(id JobID, owner string, ttl time.Duration) error { return nil }
+
+func work() {}
+
+// runOne disposes on every path: the error/idle return leaves the
+// claim unconfirmed (cMaybe, not a leak), the success path terminates.
+func runOne(st *Store) {
+	rec, ok, err := st.Claim("me", time.Second)
+	if err != nil || !ok {
+		return
+	}
+	rec.Status.State = JobDone
+	_ = st.Put(rec)
+}
+
+// leaky abandons a confirmed claim on one of its returns.
+func leaky(st *Store) {
+	rec, ok, _ := st.Claim("me", time.Second)
+	if !ok {
+		return
+	}
+	if rec.Status.ID == "skip" {
+		return // want `claimed job leaks on this path: no terminal Put, Release, or lease-loss guard`
+	}
+	rec.Status.State = JobDone
+	_ = st.Put(rec)
+}
+
+// releases returns the claim instead of running it: clean.
+func releases(st *Store) {
+	_, ok, _ := st.Claim("me", time.Second)
+	if !ok {
+		return
+	}
+	_ = st.Release("j", "me")
+}
+
+// allowed documents a justified early exit per-path: the exemption
+// sits on the exact return it excuses, and the other paths are still
+// checked.
+func allowed(st *Store) {
+	rec, ok, _ := st.Claim("me", time.Second)
+	if !ok {
+		return
+	}
+	if rec.Status.State == JobDone {
+		//spylint:allow leaselife fixture: terminal record observed, the lease died with it
+		return
+	}
+	rec.Status.State = JobFailed
+	_ = st.Put(rec)
+}
+
+// guarded runs the renewal-goroutine pattern correctly: the terminal
+// Put happens only on paths that checked the failure flag.
+func guarded(st *Store) {
+	rec, ok, _ := st.Claim("me", time.Second)
+	if !ok {
+		return
+	}
+	var lost atomic.Bool
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := st.Renew(rec.Status.ID, "me", time.Second); err != nil {
+				lost.Store(true)
+				return
+			}
+		}
+	}()
+	work()
+	close(stop)
+	if lost.Load() {
+		return // the new owner holds the obligation now
+	}
+	rec.Status.State = JobDone
+	_ = st.Put(rec)
+}
+
+// unguarded writes its terminal record without consulting the flag.
+func unguarded(st *Store) {
+	rec, ok, _ := st.Claim("me", time.Second)
+	if !ok {
+		return
+	}
+	var lost atomic.Bool
+	go func() {
+		if err := st.Renew(rec.Status.ID, "me", time.Second); err != nil {
+			lost.Store(true)
+		}
+	}()
+	work()
+	rec.Status.State = JobDone
+	_ = st.Put(rec) // want `terminal Put without checking the lease-renewal failure flag first`
+}
+
+// worker is the canonical claim loop: each iteration disposes before
+// the next Claim, so the loop is clean.
+func worker(st *Store) {
+	for {
+		rec, ok, _ := st.Claim("me", time.Second)
+		if !ok {
+			return
+		}
+		rec.Status.State = JobDone
+		_ = st.Put(rec)
+	}
+}
+
+// loopClaims re-claims while the previous claim is still open.
+func loopClaims(st *Store) {
+	for {
+		rec, ok, _ := st.Claim("me", time.Second) // want `Claim in a loop without a per-iteration disposition`
+		if !ok {
+			return
+		}
+		if rec.Status.ID == "skip" {
+			continue // leaves the claim open for the next iteration
+		}
+		rec.Status.State = JobDone
+		_ = st.Put(rec)
+	}
+}
+
+// claimAndHand delegates the open claim: finish inherits the
+// obligation and meets it.
+func claimAndHand(st *Store) {
+	rec, ok, _ := st.Claim("me", time.Second)
+	if !ok {
+		return
+	}
+	finish(st, rec)
+}
+
+func finish(st *Store, rec Record) {
+	rec.Status.State = JobDone
+	_ = st.Put(rec)
+}
+
+// claimAndDrop delegates too, but drop abandons the claim on its
+// early return — reported inside the delegate.
+func claimAndDrop(st *Store) {
+	rec, ok, _ := st.Claim("me", time.Second)
+	if !ok {
+		return
+	}
+	drop(st, rec)
+}
+
+func drop(st *Store, rec Record) {
+	if rec.Status.ID == "" {
+		return // want `claimed job leaks on this path: no terminal Put, Release, or lease-loss guard`
+	}
+	rec.Status.State = JobFailed
+	_ = st.Put(rec)
+}
+
+// renewStray neither claims nor receives a claimed Record: its Renew
+// is out of place.
+func renewStray(st *Store, id JobID) {
+	_ = st.Renew(id, "me", time.Second) // want `Renew outside the claiming goroutine`
+}
